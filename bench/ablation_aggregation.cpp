@@ -1,0 +1,52 @@
+// Ablation (§6.2): biased vs unbiased (Eq. 4) vs stabilized (Eq. 35)
+// aggregation under aggressive CoV-prioritized sampling.
+//
+// The paper warns that the unbiased factor 1/(p_g S) explodes when a
+// low-probability group is drawn under ESRCoV, destabilizing training, and
+// proposes the normalized Eq. 35 weights. This bench shows all three modes
+// on the same federation.
+#include "bench_common.hpp"
+
+using namespace groupfel;
+
+int main() {
+  core::ExperimentSpec spec = core::default_cifar_spec(bench::bench_scale());
+  const core::Experiment exp = core::build_experiment(spec);
+
+  std::vector<util::Series> series;
+  std::vector<std::vector<std::string>> rows;
+  for (const auto mode : {sampling::AggregationMode::kBiased,
+                          sampling::AggregationMode::kUnbiased,
+                          sampling::AggregationMode::kStabilized}) {
+    core::GroupFelConfig cfg = bench::base_config();
+    core::apply_method(core::Method::kGroupFel, cfg);  // ESRCoV sampling
+    cfg.aggregation = mode;
+    core::GroupFelTrainer trainer(
+        exp.topology, cfg,
+        core::build_cost_model(spec.task, cost::GroupOp::kSecAgg));
+    const core::TrainResult result = trainer.train();
+    series.push_back(bench::round_series(sampling::to_string(mode), result));
+
+    // Instability metric: worst round-over-round accuracy drop.
+    double worst_drop = 0.0;
+    for (std::size_t i = 1; i < result.history.size(); ++i)
+      worst_drop = std::max(worst_drop, result.history[i - 1].accuracy -
+                                            result.history[i].accuracy);
+    rows.push_back({sampling::to_string(mode),
+                    util::fixed(result.best_accuracy, 4),
+                    util::fixed(result.final_accuracy, 4),
+                    util::fixed(worst_drop, 4)});
+  }
+
+  std::cout << util::ascii_table(
+      "Aggregation-mode ablation (ESRCoV sampling)",
+      {"mode", "best acc", "final acc", "worst drop"}, rows);
+  std::cout << util::ascii_plot(series,
+                                "Ablation: aggregation mode, accuracy vs round",
+                                "round", "accuracy");
+  bench::write_series_csv("ablation_aggregation.csv", "round", "accuracy",
+                          series);
+  std::cout << "expected: unbiased shows the largest worst-drop (1/p_g "
+               "amplification); stabilized tracks biased closely (§6.2).\n";
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Ablation: client churn (mobile devices dropping mid-round).
+//
+// The edge setting the paper targets is defined by unreliable clients; this
+// bench sweeps the per-round dropout probability and shows Group-FEL's
+// degradation curve, plus the secure-aggregation protocol's dropout
+// tolerance (Shamir recovery) in terms of accuracy parity with the
+// plaintext path.
+#include "bench_common.hpp"
+
+using namespace groupfel;
+
+int main() {
+  core::ExperimentSpec spec = core::default_cifar_spec(bench::bench_scale());
+  const core::Experiment exp = core::build_experiment(spec);
+
+  std::vector<util::Series> series;
+  std::vector<std::vector<std::string>> rows;
+  for (const double rate : {0.0, 0.1, 0.3, 0.5}) {
+    core::GroupFelConfig cfg = bench::base_config();
+    core::apply_method(core::Method::kGroupFel, cfg);
+    cfg.client_dropout_rate = rate;
+    core::GroupFelTrainer trainer(
+        exp.topology, cfg,
+        core::build_cost_model(spec.task, cost::GroupOp::kSecAgg));
+    const core::TrainResult result = trainer.train();
+    series.push_back(
+        bench::round_series("drop=" + util::num(rate, 2), result));
+    rows.push_back({util::num(rate, 2),
+                    util::fixed(result.best_accuracy, 4),
+                    util::fixed(result.final_accuracy, 4)});
+  }
+
+  std::cout << util::ascii_table("Client-churn ablation (Group-FEL)",
+                                 {"dropout rate", "best acc", "final acc"},
+                                 rows);
+  std::cout << util::ascii_plot(series, "Ablation: client churn",
+                                "round", "accuracy");
+  bench::write_series_csv("ablation_client_churn.csv", "round", "accuracy",
+                          series);
+  std::cout << "expected: graceful degradation — moderate churn costs a few "
+               "accuracy points; convergence never breaks.\n";
+  return 0;
+}

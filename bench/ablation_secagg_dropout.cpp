@@ -1,0 +1,69 @@
+// Ablation: secure-aggregation dropout resilience (google-benchmark).
+//
+// Measures the server-side aggregation cost as a function of how many
+// clients drop after masking: each dropped client forces a Shamir
+// reconstruction plus one PRG mask expansion per survivor, so unmasking
+// cost grows with dropouts while correctness is preserved (asserted).
+#include <benchmark/benchmark.h>
+
+#include <set>
+
+#include "secagg/secure_aggregator.hpp"
+
+using namespace groupfel;
+
+namespace {
+
+void BM_SecAggWithDropouts(benchmark::State& state) {
+  const std::size_t group = 12;
+  const std::size_t dim = 256;
+  const auto dropouts = static_cast<std::size_t>(state.range(0));
+
+  runtime::Rng rng(404);
+  secagg::SecAggConfig cfg;
+  cfg.threshold = group / 2;
+  secagg::SecureAggregator agg(group, dim, cfg, rng);
+
+  std::vector<std::vector<float>> inputs(group, std::vector<float>(dim));
+  for (auto& v : inputs)
+    for (auto& x : v) x = static_cast<float>(rng.normal());
+
+  std::set<std::size_t> dropped;
+  for (std::size_t i = 0; i < dropouts; ++i) dropped.insert(i);
+
+  // Pre-mask the surviving inputs once; benchmark the SERVER side.
+  std::vector<std::optional<std::vector<secagg::Fe>>> slots(group);
+  for (std::size_t i = 0; i < group; ++i)
+    if (!dropped.count(i)) slots[i] = agg.client_masked_input(i, inputs[i]);
+
+  double expected0 = 0.0;
+  for (std::size_t i = 0; i < group; ++i)
+    if (!dropped.count(i)) expected0 += static_cast<double>(inputs[i][0]);
+
+  for (auto _ : state) {
+    const auto sum = agg.aggregate(slots);
+    benchmark::DoNotOptimize(sum);
+    if (std::abs(static_cast<double>(sum[0]) - expected0) > 1e-2)
+      state.SkipWithError("dropout recovery produced a wrong sum");
+  }
+  state.counters["dropouts"] = static_cast<double>(dropouts);
+}
+
+void BM_SecAggClientMasking(benchmark::State& state) {
+  const auto group = static_cast<std::size_t>(state.range(0));
+  const std::size_t dim = 256;
+  runtime::Rng rng(505);
+  secagg::SecureAggregator agg(group, dim, {}, rng);
+  std::vector<float> input(dim, 0.5f);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(agg.client_masked_input(0, input));
+  }
+  state.counters["group"] = static_cast<double>(group);
+}
+
+}  // namespace
+
+BENCHMARK(BM_SecAggWithDropouts)->Arg(0)->Arg(2)->Arg(4)->Arg(6);
+BENCHMARK(BM_SecAggClientMasking)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,206 @@
+// Shared helpers for the per-figure benchmark drivers.
+//
+// Scaling: the paper's experiments ran on 8 V100s; this repository targets
+// one CPU core. GROUPFEL_BENCH_SCALE (default 0.33) scales client counts /
+// data sizes, and GROUPFEL_BENCH_ROUNDS (default 30) sets T. The SHAPE of
+// every reproduced curve is preserved; absolute cost/accuracy values shift
+// with scale. Set GROUPFEL_BENCH_SCALE=1 GROUPFEL_BENCH_ROUNDS=200 for a
+// paper-scale run.
+#pragma once
+
+#include <cstdlib>
+#include <filesystem>
+#include <iostream>
+#include <string>
+
+#include "core/experiment.hpp"
+#include "util/ascii_plot.hpp"
+#include "util/csv.hpp"
+#include "util/format.hpp"
+
+namespace groupfel::bench {
+
+inline double bench_scale() {
+  if (const char* env = std::getenv("GROUPFEL_BENCH_SCALE"))
+    return std::atof(env);
+  return 0.33;
+}
+
+inline std::size_t bench_rounds() {
+  if (const char* env = std::getenv("GROUPFEL_BENCH_ROUNDS"))
+    return static_cast<std::size_t>(std::atoll(env));
+  return 30;
+}
+
+/// Output directory for CSVs (created on demand).
+inline std::string results_dir() {
+  const std::string dir = "groupfel_results";
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+/// The common Algorithm 1 hyperparameters used across figure benches
+/// (paper: K=5, E=2; scaled K keeps per-round cost tractable).
+inline core::GroupFelConfig base_config(std::uint64_t seed = 97) {
+  core::GroupFelConfig cfg;
+  cfg.global_rounds = bench_rounds();
+  cfg.group_rounds = 5;   // paper: K = 5
+  cfg.local_epochs = 2;   // paper: E = 2
+  cfg.sampled_groups = 6;
+  cfg.local.batch_size = 8;
+  cfg.local.lr = 0.1f;
+  cfg.grouping_params.min_group_size = 5;
+  cfg.grouping_params.max_cov = 1.0;
+  cfg.eval_every = 1;
+  cfg.seed = seed;
+  return cfg;
+}
+
+/// Runs one named method on a prebuilt experiment and returns its history.
+inline core::TrainResult run_method(const core::Experiment& exp,
+                                    core::Method method,
+                                    const core::GroupFelConfig& base,
+                                    cost::Task task,
+                                    double cost_budget = 0.0) {
+  core::GroupFelConfig cfg = base;
+  core::apply_method(method, cfg);
+  core::GroupFelTrainer trainer(
+      exp.topology, cfg,
+      core::build_cost_model(task, core::cost_group_op(method)));
+  return trainer.train(cost_budget);
+}
+
+/// Seeds averaged per configuration (GROUPFEL_BENCH_SEEDS, default 3).
+/// Single-seed FL curves at this scale carry ~±1.5% accuracy noise; the
+/// paper's method ordering is about means.
+inline std::size_t bench_seeds() {
+  if (const char* env = std::getenv("GROUPFEL_BENCH_SEEDS"))
+    return static_cast<std::size_t>(std::atoll(env));
+  return 3;
+}
+
+/// Pointwise average of per-seed training histories (same round grid).
+inline core::TrainResult average_results(
+    const std::vector<core::TrainResult>& results) {
+  core::TrainResult avg = results.front();
+  for (std::size_t i = 1; i < results.size(); ++i) {
+    const auto& r = results[i];
+    for (std::size_t j = 0; j < avg.history.size() && j < r.history.size();
+         ++j) {
+      avg.history[j].accuracy += r.history[j].accuracy;
+      avg.history[j].test_loss += r.history[j].test_loss;
+      avg.history[j].train_loss += r.history[j].train_loss;
+      avg.history[j].cumulative_cost += r.history[j].cumulative_cost;
+    }
+    avg.total_cost += r.total_cost;
+    avg.grouping.avg_cov += r.grouping.avg_cov;
+    avg.grouping.avg_size += r.grouping.avg_size;
+  }
+  const double n = static_cast<double>(results.size());
+  for (auto& m : avg.history) {
+    m.accuracy /= n;
+    m.test_loss /= n;
+    m.train_loss /= n;
+    m.cumulative_cost /= n;
+  }
+  avg.total_cost /= n;
+  avg.grouping.avg_cov /= n;
+  avg.grouping.avg_size /= n;
+  avg.best_accuracy = 0.0;
+  for (const auto& m : avg.history)
+    avg.best_accuracy = std::max(avg.best_accuracy, m.accuracy);
+  avg.final_accuracy = avg.history.empty() ? 0.0 : avg.history.back().accuracy;
+  return avg;
+}
+
+/// Runs an arbitrary configuration (mutator applies method/combo settings)
+/// across bench_seeds() freshly-built federations and averages the curves.
+template <typename Mutator>
+core::TrainResult run_config_seeds(const core::ExperimentSpec& spec0,
+                                   const core::GroupFelConfig& cfg0,
+                                   cost::Task task, cost::GroupOp op,
+                                   Mutator&& mutate) {
+  std::vector<core::TrainResult> results;
+  for (std::size_t s = 0; s < bench_seeds(); ++s) {
+    core::ExperimentSpec spec = spec0;
+    spec.seed = spec0.seed + 1000 * s;
+    const core::Experiment exp = core::build_experiment(spec);
+    core::GroupFelConfig cfg = cfg0;
+    cfg.seed = spec.seed ^ 0x5eed;
+    mutate(cfg);
+    core::GroupFelTrainer trainer(exp.topology, cfg,
+                                  core::build_cost_model(task, op));
+    results.push_back(trainer.train());
+  }
+  return average_results(results);
+}
+
+/// Seed-averaged run of one named method.
+inline core::TrainResult run_method_seeds(const core::ExperimentSpec& spec,
+                                          core::Method method,
+                                          const core::GroupFelConfig& cfg,
+                                          cost::Task task) {
+  return run_config_seeds(
+      spec, cfg, task, core::cost_group_op(method),
+      [method](core::GroupFelConfig& c) { core::apply_method(method, c); });
+}
+
+/// Converts a history to an accuracy-vs-cost series.
+inline util::Series cost_series(const std::string& name,
+                                const core::TrainResult& result) {
+  util::Series s;
+  s.name = name;
+  for (const auto& m : result.history) {
+    s.x.push_back(m.cumulative_cost);
+    s.y.push_back(m.accuracy);
+  }
+  return s;
+}
+
+/// Best accuracy reached within a cost budget (Fig. 10/11 protocol: every
+/// method gets the SAME spend; history entries beyond it are ignored).
+inline double accuracy_at_cost(const core::TrainResult& result,
+                               double budget) {
+  double best = 0.0;
+  for (const auto& m : result.history)
+    if (m.cumulative_cost <= budget) best = std::max(best, m.accuracy);
+  return best;
+}
+
+/// Shared budget for the cost-domain comparisons, scaled off the default
+/// bench scale (the paper uses 1e6 at full scale). Override with
+/// GROUPFEL_BENCH_BUDGET.
+inline double bench_budget() {
+  if (const char* env = std::getenv("GROUPFEL_BENCH_BUDGET"))
+    return std::atof(env);
+  return 4e5 * (bench_scale() / 0.33);
+}
+
+/// Converts a history to an accuracy-vs-round series.
+inline util::Series round_series(const std::string& name,
+                                 const core::TrainResult& result) {
+  util::Series s;
+  s.name = name;
+  for (const auto& m : result.history) {
+    s.x.push_back(static_cast<double>(m.round));
+    s.y.push_back(m.accuracy);
+  }
+  return s;
+}
+
+/// Writes a set of series as one long-format CSV (series,x,y).
+inline void write_series_csv(const std::string& filename,
+                             const std::string& x_name,
+                             const std::string& y_name,
+                             const std::vector<util::Series>& series) {
+  util::CsvWriter csv(results_dir() + "/" + filename,
+                      {"series", x_name, y_name});
+  for (const auto& s : series)
+    for (std::size_t i = 0; i < s.x.size(); ++i)
+      csv.row_strings({s.name, util::format_double(s.x[i]),
+                       util::format_double(s.y[i])});
+  csv.flush();
+  std::cout << "wrote " << results_dir() << "/" << filename << "\n";
+}
+
+}  // namespace groupfel::bench

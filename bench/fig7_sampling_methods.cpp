@@ -1,0 +1,48 @@
+// Fig. 7: comparison of the group-sampling methods (Random, RCoV, SRCoV,
+// ESRCoV) with CoVG groups.
+//
+// Paper: the more the weight function emphasizes CoV, the smoother and
+// faster the convergence — ESRCoV is best and becomes the default.
+#include "bench_common.hpp"
+
+using namespace groupfel;
+
+int main() {
+  core::ExperimentSpec spec = core::default_cifar_spec(bench::bench_scale());
+
+  std::vector<util::Series> series;
+  std::vector<std::vector<std::string>> rows;
+  for (const auto sampling :
+       {sampling::SamplingMethod::kRandom, sampling::SamplingMethod::kRCov,
+        sampling::SamplingMethod::kSRCov, sampling::SamplingMethod::kESRCov}) {
+    const core::GroupFelConfig base = bench::base_config();
+    const core::TrainResult result = bench::run_config_seeds(
+        spec, base, spec.task, cost::GroupOp::kSecAgg,
+        [sampling](core::GroupFelConfig& c) {
+          core::apply_method(core::Method::kGroupFel, c);
+          c.sampling = sampling;
+        });
+    series.push_back(
+        bench::cost_series(sampling::to_string(sampling), result));
+    rows.push_back({sampling::to_string(sampling),
+                    util::fixed(bench::accuracy_at_cost(
+                        result, bench::bench_budget()), 4),
+                    util::fixed(result.best_accuracy, 4),
+                    util::fixed(result.total_cost, 0)});
+  }
+
+  std::cout << util::ascii_table("Fig 7 summary",
+                                 {"sampling", "acc@budget", "best acc", "cost"},
+                                 rows);
+  std::cout << util::ascii_plot(
+      series, "Fig 7: sampling methods, accuracy vs cost", "cost (s)",
+      "accuracy");
+  bench::write_series_csv("fig7_sampling_methods.csv", "cost", "accuracy",
+                          series);
+  std::cout << "paper shape: ESRCoV >= SRCoV >= RCoV >= Random. In this "
+               "substrate the four rules are statistically tied — the "
+               "data-coverage loss from concentrating on the lowest-CoV "
+               "groups offsets the prioritization gain (EXPERIMENTS.md, "
+               "partial-reproduction notes).\n";
+  return 0;
+}

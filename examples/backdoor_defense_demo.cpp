@@ -1,0 +1,72 @@
+// Backdoor attack & FLAME defense inside Group-FEL.
+//
+// The paper's cost model charges every group for "backdoor detection" —
+// this example shows that operation doing its job: a fraction of clients
+// submit sign-flipped, scaled model updates; without the defense the global
+// model collapses, with FLAME filtering at each group aggregation it keeps
+// learning (at the quadratic per-group cost Fig. 2(a) accounts for).
+//
+//   ./backdoor_defense_demo [--attackers=0.2] [--rounds=15] [--clients=60]
+#include <iostream>
+
+#include "core/experiment.hpp"
+#include "util/flags.hpp"
+#include "util/format.hpp"
+
+using namespace groupfel;
+
+namespace {
+core::TrainResult run(const core::Experiment& exp, core::GroupFelConfig cfg,
+                      bool attack, bool defense, cost::Task task) {
+  cfg.backdoor.attack = attack;
+  cfg.backdoor.defense = defense;
+  core::GroupFelTrainer trainer(
+      exp.topology, cfg,
+      core::build_cost_model(task, cost::GroupOp::kBackdoorDetection));
+  return trainer.train();
+}
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Flags flags(argc, argv);
+  const double attacker_fraction = flags.get_double("attackers", 0.2);
+
+  core::ExperimentSpec spec = core::default_cifar_spec(0.3);
+  spec.num_clients = static_cast<std::size_t>(flags.get_int("clients", 60));
+  spec.alpha = 0.5;  // milder skew so honest updates agree directionally
+  core::Experiment exp = core::build_experiment(spec);
+
+  // Mark attackers deterministically.
+  runtime::Rng rng(515);
+  exp.topology.malicious.assign(spec.num_clients, false);
+  std::size_t attackers = 0;
+  for (std::size_t i = 0; i < spec.num_clients; ++i)
+    if (rng.next_double() < attacker_fraction) {
+      exp.topology.malicious[i] = true;
+      ++attackers;
+    }
+  std::cout << attackers << "/" << spec.num_clients
+            << " clients are backdoor attackers\n";
+
+  core::GroupFelConfig cfg;
+  cfg.global_rounds = static_cast<std::size_t>(flags.get_int("rounds", 15));
+  cfg.sampled_groups = 5;
+  core::apply_method(core::Method::kGroupFel, cfg);
+  cfg.grouping_params.min_group_size = 6;
+
+  const auto clean = run(exp, cfg, false, false, spec.task);
+  const auto attacked = run(exp, cfg, true, false, spec.task);
+  const auto defended = run(exp, cfg, true, true, spec.task);
+
+  std::cout << "no attack,  no defense: acc "
+            << util::fixed(clean.final_accuracy, 4) << "\n"
+            << "attack,     no defense: acc "
+            << util::fixed(attacked.final_accuracy, 4) << "\n"
+            << "attack,  FLAME defense: acc "
+            << util::fixed(defended.final_accuracy, 4) << " ("
+            << defended.defense_rejections << " updates rejected)\n";
+  std::cout << "expected: attack collapses accuracy; FLAME restores most of "
+               "it by rejecting the poisoned minority at every group "
+               "aggregation.\n";
+  return 0;
+}

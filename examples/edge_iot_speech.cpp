@@ -1,0 +1,65 @@
+// Speech-command recognition at the IoT edge — the paper's "lightweight"
+// task (§7.3.2): 35 classes, extremely skewed clients (alpha = 0.01, each
+// client dominated by <5 command types), MinGS = 15, no MaxCoV constraint.
+//
+// Demonstrates the regime where group operations dominate cost: large
+// mandatory groups (anonymity) and tiny per-client datasets.
+//
+//   ./edge_iot_speech [--clients=90] [--rounds=25] [--min-gs=15]
+#include <iostream>
+
+#include "core/experiment.hpp"
+#include "util/flags.hpp"
+#include "util/format.hpp"
+
+using namespace groupfel;
+
+int main(int argc, char** argv) {
+  util::Flags flags(argc, argv);
+
+  core::ExperimentSpec spec = core::default_sc_spec(0.3);
+  spec.num_clients = static_cast<std::size_t>(flags.get_int("clients", 90));
+  spec.seed = static_cast<std::uint64_t>(flags.get_int("seed", 5));
+  const core::Experiment exp = core::build_experiment(spec);
+
+  core::GroupFelConfig cfg;
+  cfg.global_rounds = static_cast<std::size_t>(flags.get_int("rounds", 25));
+  cfg.group_rounds = 2;
+  cfg.local_epochs = 2;
+  cfg.sampled_groups = 4;
+  cfg.seed = spec.seed;
+  core::apply_method(core::Method::kGroupFel, cfg);
+  // §7.3.2 settings: MinGS = 15 and no MaxCoV cap.
+  cfg.grouping_params.min_group_size =
+      static_cast<std::size_t>(flags.get_int("min-gs", 15));
+  cfg.grouping_params.max_cov = 1e9;
+
+  core::GroupFelTrainer trainer(
+      exp.topology, cfg,
+      core::build_cost_model(spec.task, cost::GroupOp::kSecAgg));
+
+  std::cout << "SC-like task: " << spec.num_clients << " clients, 35 classes, "
+            << "alpha=" << spec.alpha << " (every client dominated by a few "
+            << "commands)\n"
+            << "groups: " << trainer.groups().size() << "\n";
+
+  const core::TrainResult result = trainer.train();
+  std::cout << "round,accuracy,cost\n";
+  for (const auto& m : result.history)
+    std::cout << m.round << "," << util::fixed(m.accuracy, 4) << ","
+              << util::fixed(m.cumulative_cost, 1) << "\n";
+
+  // Break the total cost down: with 15-client groups and ~30-sample shards,
+  // group overhead is the dominant term — the paper's core motivation.
+  const cost::CostModel model =
+      core::build_cost_model(spec.task, cost::GroupOp::kSecAgg);
+  const double op = model.group_op_cost(cfg.grouping_params.min_group_size);
+  const double tr =
+      static_cast<double>(cfg.local_epochs) *
+      model.training_cost(static_cast<std::size_t>(spec.size_mean));
+  std::cout << "per client-group-round: group ops " << util::fixed(op, 2)
+            << " s vs training " << util::fixed(tr, 2) << " s\n";
+  std::cout << "final accuracy " << util::fixed(result.final_accuracy, 4)
+            << " at cost " << util::fixed(result.total_cost, 0) << "\n";
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Quickstart: the smallest complete Group-FEL run.
+//
+// Builds a synthetic non-IID federation (CIFAR-like task), forms client
+// groups with CoV-Grouping, samples groups with ESRCoV, trains with
+// Algorithm 1, and prints the accuracy/cost trajectory.
+//
+//   ./quickstart [--clients=120] [--rounds=30] [--alpha=0.1] [--seed=7]
+#include <iostream>
+
+#include "core/experiment.hpp"
+#include "util/flags.hpp"
+#include "util/format.hpp"
+
+int main(int argc, char** argv) {
+  using namespace groupfel;
+  util::Flags flags(argc, argv);
+
+  // 1. Describe the federation.
+  core::ExperimentSpec spec = core::default_cifar_spec(/*scale=*/0.4);
+  spec.num_clients = static_cast<std::size_t>(flags.get_int("clients", 120));
+  spec.alpha = flags.get_double("alpha", 0.1);
+  spec.seed = static_cast<std::uint64_t>(flags.get_int("seed", 7));
+  core::Experiment exp = core::build_experiment(spec);
+
+  // 2. Configure Group-FEL (Algorithm 1 hyperparameters + our method).
+  core::GroupFelConfig cfg;
+  cfg.global_rounds = static_cast<std::size_t>(flags.get_int("rounds", 30));
+  cfg.group_rounds = 2;    // K
+  cfg.local_epochs = 2;    // E
+  cfg.sampled_groups = 6;  // S
+  cfg.seed = spec.seed;
+  core::apply_method(core::Method::kGroupFel, cfg);
+  cfg.grouping_params.min_group_size = 5;
+  cfg.grouping_params.max_cov = 0.5;
+
+  // 3. Train.
+  core::GroupFelTrainer trainer(
+      exp.topology, cfg,
+      core::build_cost_model(spec.task, cost::GroupOp::kSecAgg));
+
+  std::cout << "Formed " << trainer.groups().size() << " groups across "
+            << spec.num_edges << " edge servers\n";
+  const core::TrainResult result = trainer.train();
+
+  // 4. Inspect the trajectory.
+  std::cout << "round,accuracy,train_loss,cost\n";
+  for (const auto& m : result.history)
+    std::cout << m.round << "," << util::fixed(m.accuracy, 4) << ","
+              << util::fixed(m.train_loss, 4) << ","
+              << util::fixed(m.cumulative_cost, 1) << "\n";
+  std::cout << "final accuracy: " << util::fixed(result.final_accuracy, 4)
+            << "  total cost: " << util::fixed(result.total_cost, 1)
+            << "  avg group CoV: " << util::fixed(result.grouping.avg_cov, 3)
+            << "  avg group size: " << util::fixed(result.grouping.avg_size, 2)
+            << "\n";
+  return 0;
+}

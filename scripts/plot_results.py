@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Plot the CSV series emitted by the bench binaries.
+
+Every bench writes long-format CSVs (series,x,y) into groupfel_results/.
+This script turns each into a PNG next to the CSV. Requires matplotlib.
+
+    python3 scripts/plot_results.py [groupfel_results]
+"""
+import csv
+import pathlib
+import sys
+from collections import defaultdict
+
+AXIS_LABELS = {
+    "cost": "total cost (s, Eq. 5)",
+    "round": "global round",
+    "size": "data / group size",
+    "clients": "#clients",
+    "avg_cov": "average group CoV",
+    "seconds": "time (s)",
+    "milliseconds": "time (ms)",
+    "accuracy": "test accuracy",
+    "overhead_per_client": "overhead per client (s)",
+    "grad_norm_sq": "||grad f(x_t)||^2",
+    "uploaded_mb": "uploaded MB",
+    "wallclock_s": "estimated wall-clock (s)",
+}
+
+
+def plot_file(path: pathlib.Path) -> None:
+    import matplotlib
+
+    matplotlib.use("Agg")
+    import matplotlib.pyplot as plt
+
+    with path.open() as fh:
+        reader = csv.reader(fh)
+        header = next(reader)
+        if len(header) != 3 or header[0] != "series":
+            print(f"skip {path.name}: not a long-format series CSV")
+            return
+        x_name, y_name = header[1], header[2]
+        series = defaultdict(lambda: ([], []))
+        for name, x, y in reader:
+            xs, ys = series[name]
+            xs.append(float(x))
+            ys.append(float(y))
+
+    fig, ax = plt.subplots(figsize=(7, 4.5))
+    for name, (xs, ys) in series.items():
+        ax.plot(xs, ys, marker="o", markersize=2.5, linewidth=1.2, label=name)
+    ax.set_xlabel(AXIS_LABELS.get(x_name, x_name))
+    ax.set_ylabel(AXIS_LABELS.get(y_name, y_name))
+    ax.set_title(path.stem.replace("_", " "))
+    ax.legend(fontsize=8)
+    ax.grid(alpha=0.3)
+    out = path.with_suffix(".png")
+    fig.tight_layout()
+    fig.savefig(out, dpi=140)
+    plt.close(fig)
+    print(f"wrote {out}")
+
+
+def main() -> int:
+    results = pathlib.Path(sys.argv[1] if len(sys.argv) > 1 else "groupfel_results")
+    if not results.is_dir():
+        print(f"no results directory at {results}; run the benches first")
+        return 1
+    for path in sorted(results.glob("*.csv")):
+        plot_file(path)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

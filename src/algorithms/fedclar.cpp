@@ -1,0 +1,51 @@
+#include "algorithms/fedclar.hpp"
+
+#include <numeric>
+
+#include "backdoor/cosine.hpp"
+
+namespace groupfel::algorithms {
+
+namespace {
+struct UnionFind {
+  std::vector<std::size_t> parent;
+  explicit UnionFind(std::size_t n) : parent(n) {
+    std::iota(parent.begin(), parent.end(), std::size_t{0});
+  }
+  std::size_t find(std::size_t x) {
+    while (parent[x] != x) x = parent[x] = parent[parent[x]];
+    return x;
+  }
+  void unite(std::size_t a, std::size_t b) { parent[find(a)] = find(b); }
+};
+}  // namespace
+
+std::vector<std::size_t> fedclar_cluster(
+    const std::vector<std::vector<float>>& client_updates,
+    double merge_threshold) {
+  const std::size_t n = client_updates.size();
+  UnionFind uf(n);
+  if (n > 1) {
+    const auto dist = backdoor::pairwise_cosine_distance(client_updates);
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t j = i + 1; j < n; ++j)
+        if (dist[i][j] < merge_threshold) uf.unite(i, j);
+  }
+  // Densify cluster ids.
+  std::vector<std::size_t> ids(n);
+  std::vector<std::size_t> roots;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t r = uf.find(i);
+    std::size_t id = roots.size();
+    for (std::size_t k = 0; k < roots.size(); ++k)
+      if (roots[k] == r) {
+        id = k;
+        break;
+      }
+    if (id == roots.size()) roots.push_back(r);
+    ids[i] = id;
+  }
+  return ids;
+}
+
+}  // namespace groupfel::algorithms

@@ -1,0 +1,20 @@
+// FedCLAR-style clustering (Presotto et al. [12]) — the personalized-FL
+// baseline. At a chosen round, clients are clustered by the cosine
+// similarity of their model updates; afterwards each cluster trains its own
+// model. The paper includes it to show personalization HURTS the global
+// model (Fig. 9's accuracy drop after the clustering round).
+#pragma once
+
+#include <vector>
+
+namespace groupfel::algorithms {
+
+/// Agglomerative single-linkage clustering over cosine distance: clients
+/// whose updates are closer than `merge_threshold` end up in one cluster
+/// (union-find over all pairs under the threshold).
+/// Returns cluster id per client (ids are dense, 0-based).
+[[nodiscard]] std::vector<std::size_t> fedclar_cluster(
+    const std::vector<std::vector<float>>& client_updates,
+    double merge_threshold);
+
+}  // namespace groupfel::algorithms

@@ -1,0 +1,21 @@
+#include "algorithms/fedprox.hpp"
+
+namespace groupfel::algorithms {
+
+double FedProxRule::train_client(nn::Model& model,
+                                 const data::ClientShard& shard,
+                                 std::span<const float> reference_params,
+                                 std::size_t /*client_id*/,
+                                 const LocalTrainConfig& cfg,
+                                 runtime::Rng& rng) {
+  const float mu = mu_;
+  const auto adjust = [mu, reference_params](std::size_t offset,
+                                             std::span<const float> param,
+                                             std::span<float> grad) {
+    for (std::size_t i = 0; i < grad.size(); ++i)
+      grad[i] += mu * (param[i] - reference_params[offset + i]);
+  };
+  return run_local_sgd(model, shard, cfg, rng, adjust);
+}
+
+}  // namespace groupfel::algorithms

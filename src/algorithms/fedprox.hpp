@@ -1,0 +1,29 @@
+// FedProx (Li et al. [6]): local SGD with a proximal term that keeps the
+// local iterate near the model the client started from —
+//   grad' = grad + mu * (x - x_ref).
+// Extra per-step computation is why FedProx loses ground when measured by
+// cost rather than rounds (Fig. 10 vs Fig. 9).
+#pragma once
+
+#include "algorithms/local_trainer.hpp"
+
+namespace groupfel::algorithms {
+
+class FedProxRule final : public LocalUpdateRule {
+ public:
+  explicit FedProxRule(float mu) : mu_(mu) {}
+
+  [[nodiscard]] std::string name() const override { return "FedProx"; }
+
+  double train_client(nn::Model& model, const data::ClientShard& shard,
+                      std::span<const float> reference_params,
+                      std::size_t client_id, const LocalTrainConfig& cfg,
+                      runtime::Rng& rng) override;
+
+  [[nodiscard]] float mu() const noexcept { return mu_; }
+
+ private:
+  float mu_;
+};
+
+}  // namespace groupfel::algorithms

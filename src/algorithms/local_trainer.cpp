@@ -1,0 +1,46 @@
+#include "algorithms/local_trainer.hpp"
+
+#include <numeric>
+
+namespace groupfel::algorithms {
+
+double run_local_sgd(nn::Model& model, const data::ClientShard& shard,
+                     const LocalTrainConfig& cfg, runtime::Rng& rng,
+                     const nn::SgdOptimizer::GradAdjust& adjust) {
+  if (shard.size() == 0) return 0.0;
+  nn::SgdOptimizer opt({.lr = cfg.lr,
+                        .momentum = cfg.momentum,
+                        .weight_decay = cfg.weight_decay});
+  std::vector<std::size_t> order(shard.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+
+  double loss_sum = 0.0;
+  std::size_t loss_batches = 0;
+  for (std::size_t epoch = 0; epoch < cfg.epochs; ++epoch) {
+    rng.shuffle(order);
+    for (std::size_t start = 0; start < order.size();
+         start += cfg.batch_size) {
+      const std::size_t end = std::min(order.size(), start + cfg.batch_size);
+      const std::span<const std::size_t> batch_idx(order.data() + start,
+                                                   end - start);
+      const data::DataSet::Batch batch = shard.batch(batch_idx);
+      model.zero_grad();
+      const nn::Tensor logits = model.forward(batch.features, /*train=*/true);
+      const nn::LossResult lr = nn::softmax_cross_entropy(logits, batch.labels);
+      model.backward(lr.grad);
+      opt.step(model, adjust);
+      loss_sum += lr.loss;
+      ++loss_batches;
+    }
+  }
+  return loss_batches > 0 ? loss_sum / static_cast<double>(loss_batches) : 0.0;
+}
+
+double SgdRule::train_client(nn::Model& model, const data::ClientShard& shard,
+                             std::span<const float> /*reference_params*/,
+                             std::size_t /*client_id*/,
+                             const LocalTrainConfig& cfg, runtime::Rng& rng) {
+  return run_local_sgd(model, shard, cfg, rng, nullptr);
+}
+
+}  // namespace groupfel::algorithms

@@ -1,0 +1,73 @@
+#include "algorithms/scaffold.hpp"
+
+namespace groupfel::algorithms {
+
+ScaffoldRule::ScaffoldRule(std::size_t num_clients)
+    : num_clients_(num_clients), c_i_(num_clients) {}
+
+double ScaffoldRule::train_client(nn::Model& model,
+                                  const data::ClientShard& shard,
+                                  std::span<const float> reference_params,
+                                  std::size_t client_id,
+                                  const LocalTrainConfig& cfg,
+                                  runtime::Rng& rng) {
+  if (client_id >= num_clients_)
+    throw std::out_of_range("ScaffoldRule: client_id out of range");
+  const std::size_t dim = model.param_count();
+
+  // Snapshot c and c_i for this client (lazily zero-initialized).
+  std::vector<float> c_snapshot, ci_snapshot;
+  {
+    std::lock_guard lock(mu_);
+    if (c_.empty()) c_.assign(dim, 0.0f);
+    if (c_i_[client_id].empty()) c_i_[client_id].assign(dim, 0.0f);
+    c_snapshot = c_;
+    ci_snapshot = c_i_[client_id];
+  }
+
+  const auto adjust = [&](std::size_t offset, std::span<const float>,
+                          std::span<float> grad) {
+    for (std::size_t i = 0; i < grad.size(); ++i)
+      grad[i] += c_snapshot[offset + i] - ci_snapshot[offset + i];
+  };
+  const double loss = run_local_sgd(model, shard, cfg, rng, adjust);
+
+  // Number of SGD steps taken locally.
+  const std::size_t batches_per_epoch =
+      shard.size() == 0
+          ? 0
+          : (shard.size() + cfg.batch_size - 1) / cfg.batch_size;
+  const std::size_t steps = cfg.epochs * batches_per_epoch;
+  if (steps == 0) return loss;
+
+  // Option II control-variate update.
+  const std::vector<float> x_local = model.flat_parameters();
+  const float inv_step_lr = 1.0f / (static_cast<float>(steps) * cfg.lr);
+  std::vector<float> ci_new(dim);
+  for (std::size_t i = 0; i < dim; ++i)
+    ci_new[i] = ci_snapshot[i] - c_snapshot[i] +
+                (reference_params[i] - x_local[i]) * inv_step_lr;
+
+  {
+    std::lock_guard lock(mu_);
+    if (pending_delta_.empty()) pending_delta_.assign(dim, 0.0f);
+    for (std::size_t i = 0; i < dim; ++i)
+      pending_delta_[i] += ci_new[i] - c_i_[client_id][i];
+    c_i_[client_id] = std::move(ci_new);
+    ++pending_count_;
+  }
+  return loss;
+}
+
+void ScaffoldRule::on_global_round_end() {
+  std::lock_guard lock(mu_);
+  if (pending_delta_.empty() || pending_count_ == 0) return;
+  // c <- c + (participants / N) * mean(delta_ci)  ==  c + sum(delta)/N.
+  const float inv_n = 1.0f / static_cast<float>(num_clients_);
+  for (std::size_t i = 0; i < c_.size(); ++i)
+    c_[i] += pending_delta_[i] * inv_n;
+  std::fill(pending_delta_.begin(), pending_delta_.end(), 0.0f);
+  pending_count_ = 0;
+}
+
+}  // namespace groupfel::algorithms

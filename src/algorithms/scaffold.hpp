@@ -1,0 +1,50 @@
+// SCAFFOLD (Karimireddy et al. [7]): stochastic controlled averaging.
+//
+// Each client keeps a control variate c_i and the server keeps c. Local
+// steps descend along grad - c_i + c, correcting client drift; after local
+// training the client updates (option II)
+//   c_i^+ = c_i - c + (x_ref - x_local) / (steps * lr)
+// and the server folds the deltas into c. SCAFFOLD ships the control
+// variate alongside the model, doubling communication — reflected in
+// communication_factor() and the SCAFFOLD-SecAgg cost curve of Fig. 8.
+#pragma once
+
+#include <mutex>
+#include <unordered_map>
+
+#include "algorithms/local_trainer.hpp"
+
+namespace groupfel::algorithms {
+
+class ScaffoldRule final : public LocalUpdateRule {
+ public:
+  /// `num_clients` sizes the per-client state table; `total_weight` is the
+  /// server-side averaging denominator N in c <- c + (1/N) sum delta_ci.
+  explicit ScaffoldRule(std::size_t num_clients);
+
+  [[nodiscard]] std::string name() const override { return "SCAFFOLD"; }
+
+  double train_client(nn::Model& model, const data::ClientShard& shard,
+                      std::span<const float> reference_params,
+                      std::size_t client_id, const LocalTrainConfig& cfg,
+                      runtime::Rng& rng) override;
+
+  void on_global_round_end() override;
+
+  [[nodiscard]] double communication_factor() const override { return 2.0; }
+
+  /// Server control variate (for tests).
+  [[nodiscard]] const std::vector<float>& server_control() const noexcept {
+    return c_;
+  }
+
+ private:
+  std::size_t num_clients_;
+  std::vector<float> c_;                     // server control variate
+  std::vector<std::vector<float>> c_i_;      // per-client control variates
+  std::vector<float> pending_delta_;         // sum of c_i deltas this round
+  std::size_t pending_count_ = 0;
+  std::mutex mu_;
+};
+
+}  // namespace groupfel::algorithms

@@ -1,0 +1,35 @@
+#include "backdoor/cosine.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace groupfel::backdoor {
+
+double cosine_similarity(std::span<const float> a, std::span<const float> b) {
+  if (a.size() != b.size())
+    throw std::invalid_argument("cosine_similarity: size mismatch");
+  double dot = 0.0, na = 0.0, nb = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double x = a[i], y = b[i];
+    dot += x * y;
+    na += x * x;
+    nb += y * y;
+  }
+  if (na == 0.0 || nb == 0.0) return 0.0;
+  return dot / (std::sqrt(na) * std::sqrt(nb));
+}
+
+std::vector<std::vector<double>> pairwise_cosine_distance(
+    const std::vector<std::vector<float>>& updates) {
+  const std::size_t n = updates.size();
+  std::vector<std::vector<double>> dist(n, std::vector<double>(n, 0.0));
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double d = 1.0 - cosine_similarity(updates[i], updates[j]);
+      dist[i][j] = d;
+      dist[j][i] = d;
+    }
+  return dist;
+}
+
+}  // namespace groupfel::backdoor

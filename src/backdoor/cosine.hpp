@@ -1,0 +1,20 @@
+// Pairwise cosine similarity over client model updates — the O(|g|^2 d)
+// kernel of FLAME-style backdoor detection (the paper's second quadratic
+// group operation, Fig. 2a / Fig. 8).
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace groupfel::backdoor {
+
+/// Cosine similarity in [-1, 1]; returns 0 when either vector is zero.
+[[nodiscard]] double cosine_similarity(std::span<const float> a,
+                                       std::span<const float> b);
+
+/// Full pairwise cosine DISTANCE matrix (1 - similarity), symmetric with a
+/// zero diagonal.
+[[nodiscard]] std::vector<std::vector<double>> pairwise_cosine_distance(
+    const std::vector<std::vector<float>>& updates);
+
+}  // namespace groupfel::backdoor

@@ -1,0 +1,114 @@
+#include "compression/compressor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace groupfel::compression {
+
+std::size_t CompressedUpdate::wire_bytes() const {
+  // Header: dense_size + scale + quantized flag + two lengths.
+  std::size_t bytes = 4 + 4 + 1 + 4 + 4;
+  bytes += indices.size() * 4;
+  bytes += codes.size();  // int8 codes, or raw float bytes when !quantized
+  return bytes;
+}
+
+CompressedUpdate compress(std::span<const float> update,
+                          const CompressorConfig& config) {
+  if (update.size() > 0xFFFFFFFFull)
+    throw std::invalid_argument("compress: vector too large");
+  CompressedUpdate out;
+  out.dense_size = static_cast<std::uint32_t>(update.size());
+
+  // Select retained coordinates.
+  std::vector<std::uint32_t> keep;
+  if (config.top_k > 0 && config.top_k < update.size()) {
+    std::vector<std::uint32_t> order(update.size());
+    std::iota(order.begin(), order.end(), 0u);
+    std::nth_element(order.begin(),
+                     order.begin() + static_cast<std::ptrdiff_t>(config.top_k),
+                     order.end(), [&](std::uint32_t a, std::uint32_t b) {
+                       return std::abs(update[a]) > std::abs(update[b]);
+                     });
+    keep.assign(order.begin(),
+                order.begin() + static_cast<std::ptrdiff_t>(config.top_k));
+    std::sort(keep.begin(), keep.end());
+    out.indices = keep;
+  } else {
+    keep.resize(update.size());
+    std::iota(keep.begin(), keep.end(), 0u);
+    // Dense: indices stay empty (implicit identity).
+  }
+
+  // Quantization scale from the max retained magnitude.
+  float max_abs = 0.0f;
+  for (auto i : keep) max_abs = std::max(max_abs, std::abs(update[i]));
+  if (max_abs == 0.0f) {
+    out.scale = 0.0f;
+    out.quantized = true;
+    out.codes.assign(keep.size(), 0);
+    return out;
+  }
+
+  out.quantized = config.quantize;
+  if (config.quantize) {
+    out.scale = max_abs / 127.0f;
+    out.codes.reserve(keep.size());
+    for (auto i : keep) {
+      const float q = std::round(update[i] / out.scale);
+      out.codes.push_back(static_cast<std::int8_t>(
+          std::clamp(q, -127.0f, 127.0f)));
+    }
+  } else {
+    // Store floats bit-cast into 4 codes each? Keep the format simple:
+    // unquantized mode reuses `codes` as raw bytes of float payload.
+    out.scale = 1.0f;
+    out.codes.resize(keep.size() * sizeof(float));
+    float* dst = reinterpret_cast<float*>(out.codes.data());
+    for (std::size_t j = 0; j < keep.size(); ++j) dst[j] = update[keep[j]];
+  }
+  return out;
+}
+
+std::vector<float> decompress(const CompressedUpdate& update) {
+  std::vector<float> out(update.dense_size, 0.0f);
+  if (update.scale == 0.0f) return out;  // all-zero update
+  const bool sparse = !update.indices.empty();
+  const std::size_t retained =
+      sparse ? update.indices.size() : update.dense_size;
+  const std::size_t expected_codes =
+      update.quantized ? retained : retained * sizeof(float);
+  if (update.codes.size() != expected_codes)
+    throw std::invalid_argument("decompress: malformed code payload");
+
+  for (std::size_t j = 0; j < retained; ++j) {
+    const std::size_t dst = sparse ? update.indices[j] : j;
+    if (dst >= out.size())
+      throw std::invalid_argument("decompress: index out of range");
+    if (update.quantized) {
+      out[dst] = static_cast<float>(update.codes[j]) * update.scale;
+    } else {
+      out[dst] = reinterpret_cast<const float*>(update.codes.data())[j];
+    }
+  }
+  return out;
+}
+
+double reconstruction_error(std::span<const float> original,
+                            std::span<const float> recovered) {
+  if (original.size() != recovered.size())
+    throw std::invalid_argument("reconstruction_error: size mismatch");
+  double err = 0.0, norm = 0.0;
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    const double d =
+        static_cast<double>(original[i]) - static_cast<double>(recovered[i]);
+    err += d * d;
+    norm += static_cast<double>(original[i]) * original[i];
+  }
+  if (norm == 0.0) return 0.0;
+  return std::sqrt(err / norm);
+}
+
+}  // namespace groupfel::compression

@@ -1,0 +1,54 @@
+// Model-update compression: top-k sparsification and uniform int8
+// quantization. The paper's §2.3 cites gradient/model compression [26, 27]
+// as the standard answer to the cross-device communication bottleneck;
+// this module provides both schemes (and their composition) with exact
+// byte accounting, so the communication ablation can trade accuracy
+// against bytes on the wire.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace groupfel::compression {
+
+/// A compressed update: sparse quantized coefficients + metadata needed to
+/// reconstruct a dense float vector.
+struct CompressedUpdate {
+  std::uint32_t dense_size = 0;
+  /// Quantization scale: value = code * scale (0 scale = all-zero update).
+  float scale = 0.0f;
+  /// True when `codes` holds int8 quantized values; false when it holds the
+  /// raw float32 payload (4 bytes per retained coefficient).
+  bool quantized = true;
+  /// Sorted indices of retained coefficients (empty + quantized full-size
+  /// codes means dense quantization).
+  std::vector<std::uint32_t> indices;
+  /// int8 codes, one per retained coefficient.
+  std::vector<std::int8_t> codes;
+
+  /// Exact bytes this update occupies on the wire.
+  [[nodiscard]] std::size_t wire_bytes() const;
+};
+
+struct CompressorConfig {
+  /// Keep the k largest-magnitude coefficients; 0 disables sparsification
+  /// (dense quantization). May not exceed the vector size.
+  std::size_t top_k = 0;
+  /// Quantize retained values to int8 (uniform symmetric). Disabled means
+  /// full float32 payload (indices only benefit).
+  bool quantize = true;
+};
+
+/// Compresses a dense update.
+[[nodiscard]] CompressedUpdate compress(std::span<const float> update,
+                                        const CompressorConfig& config);
+
+/// Reconstructs the dense vector (zeros where coefficients were dropped).
+[[nodiscard]] std::vector<float> decompress(const CompressedUpdate& update);
+
+/// Relative L2 reconstruction error ||x - x'|| / ||x|| (0 for zero input).
+[[nodiscard]] double reconstruction_error(std::span<const float> original,
+                                          std::span<const float> recovered);
+
+}  // namespace groupfel::compression

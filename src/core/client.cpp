@@ -1,0 +1,2 @@
+// Client is header-only; this TU anchors the target.
+#include "core/client.hpp"

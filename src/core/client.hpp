@@ -1,0 +1,31 @@
+// Client role: a mobile device holding one data shard. In this simulator a
+// client is deliberately thin — local training is driven by the group
+// round (core/trainer.cpp) through a LocalUpdateRule.
+#pragma once
+
+#include "data/dataset.hpp"
+
+namespace groupfel::core {
+
+class Client {
+ public:
+  Client(std::size_t id, data::ClientShard shard)
+      : id_(id), shard_(std::move(shard)) {}
+
+  [[nodiscard]] std::size_t id() const noexcept { return id_; }
+  [[nodiscard]] const data::ClientShard& shard() const noexcept {
+    return shard_;
+  }
+  [[nodiscard]] std::size_t data_count() const noexcept {
+    return shard_.size();
+  }
+  [[nodiscard]] std::vector<std::size_t> label_counts() const {
+    return shard_.label_counts();
+  }
+
+ private:
+  std::size_t id_;
+  data::ClientShard shard_;
+};
+
+}  // namespace groupfel::core

@@ -1,0 +1,35 @@
+#include "core/cloud.hpp"
+
+#include <stdexcept>
+
+namespace groupfel::core {
+
+void Cloud::set_groups(std::vector<FormedGroup> groups) {
+  groups_ = std::move(groups);
+  if (groups_.empty()) throw std::invalid_argument("Cloud: no groups");
+  std::vector<double> covs;
+  covs.reserve(groups_.size());
+  group_sizes_.clear();
+  for (const auto& g : groups_) {
+    covs.push_back(g.cov);
+    group_sizes_.push_back(g.data_count);
+  }
+  p_ = sampling::sampling_probabilities(sampling_, covs);
+}
+
+std::vector<std::size_t> Cloud::sample(std::size_t s,
+                                       runtime::Rng& rng) const {
+  return sampling::sample_groups(p_, std::min(s, p_.size()), rng);
+}
+
+std::vector<float> Cloud::aggregate(
+    std::span<const std::size_t> sampled,
+    const std::vector<std::vector<float>>& group_models) const {
+  if (sampled.size() != group_models.size())
+    throw std::invalid_argument("Cloud::aggregate: arity mismatch");
+  const std::vector<double> w = sampling::aggregation_weights(
+      aggregation_, sampled, p_, group_sizes_);
+  return nn::weighted_average(group_models, w);
+}
+
+}  // namespace groupfel::core

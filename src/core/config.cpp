@@ -1,0 +1,60 @@
+#include "core/config.hpp"
+
+#include <stdexcept>
+
+namespace groupfel::core {
+
+std::string to_string(Method method) {
+  switch (method) {
+    case Method::kFedAvg: return "FedAvg";
+    case Method::kFedProx: return "FedProx";
+    case Method::kScaffold: return "SCAFFOLD";
+    case Method::kGroupFel: return "Group-FEL";
+    case Method::kOuea: return "OUEA";
+    case Method::kShare: return "SHARE";
+    case Method::kFedClar: return "FedCLAR";
+  }
+  return "?";
+}
+
+void apply_method(Method method, GroupFelConfig& cfg) {
+  // Reset the toggles a previous preset may have set.
+  cfg.fedclar.enabled = false;
+  cfg.rule = LocalRule::kSgd;
+  cfg.sampling = sampling::SamplingMethod::kRandom;
+
+  switch (method) {
+    case Method::kFedAvg:
+      cfg.grouping = grouping::GroupingMethod::kRandom;
+      break;
+    case Method::kFedProx:
+      cfg.grouping = grouping::GroupingMethod::kRandom;
+      cfg.rule = LocalRule::kFedProx;
+      break;
+    case Method::kScaffold:
+      cfg.grouping = grouping::GroupingMethod::kRandom;
+      cfg.rule = LocalRule::kScaffold;
+      break;
+    case Method::kGroupFel:
+      cfg.grouping = grouping::GroupingMethod::kCov;
+      cfg.sampling = sampling::SamplingMethod::kESRCov;
+      break;
+    case Method::kOuea:
+      cfg.grouping = grouping::GroupingMethod::kCdg;
+      break;
+    case Method::kShare:
+      cfg.grouping = grouping::GroupingMethod::kKldg;
+      break;
+    case Method::kFedClar:
+      cfg.grouping = grouping::GroupingMethod::kRandom;
+      cfg.fedclar.enabled = true;
+      break;
+  }
+}
+
+cost::GroupOp cost_group_op(Method method) {
+  return method == Method::kScaffold ? cost::GroupOp::kScaffoldSecAgg
+                                     : cost::GroupOp::kSecAgg;
+}
+
+}  // namespace groupfel::core

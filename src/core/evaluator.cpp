@@ -1,0 +1,29 @@
+#include "core/evaluator.hpp"
+
+#include <numeric>
+
+namespace groupfel::core {
+
+EvalResult evaluate(nn::Model& model, const data::DataSet& test,
+                    std::size_t batch_size) {
+  EvalResult res;
+  if (test.size() == 0) return res;
+  std::size_t correct = 0;
+  double loss_sum = 0.0;
+  std::vector<std::size_t> idx(batch_size);
+  for (std::size_t start = 0; start < test.size(); start += batch_size) {
+    const std::size_t end = std::min(test.size(), start + batch_size);
+    idx.resize(end - start);
+    std::iota(idx.begin(), idx.end(), start);
+    const data::DataSet::Batch batch = test.gather(idx);
+    const nn::Tensor logits = model.forward(batch.features, /*train=*/false);
+    const nn::LossResult lr = nn::softmax_cross_entropy(logits, batch.labels);
+    correct += lr.correct;
+    loss_sum += lr.loss * static_cast<double>(end - start);
+  }
+  res.accuracy = static_cast<double>(correct) / static_cast<double>(test.size());
+  res.loss = loss_sum / static_cast<double>(test.size());
+  return res;
+}
+
+}  // namespace groupfel::core

@@ -1,0 +1,18 @@
+// Global-model evaluation on a held-out test set (batched forward passes).
+#pragma once
+
+#include "data/dataset.hpp"
+#include "nn/model.hpp"
+
+namespace groupfel::core {
+
+struct EvalResult {
+  double accuracy = 0.0;
+  double loss = 0.0;
+};
+
+/// Evaluates `model` on the whole `test` set with the given batch size.
+[[nodiscard]] EvalResult evaluate(nn::Model& model, const data::DataSet& test,
+                                  std::size_t batch_size = 256);
+
+}  // namespace groupfel::core

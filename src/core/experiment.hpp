@@ -1,0 +1,53 @@
+// Experiment builder: assembles a full simulated federation (synthetic
+// dataset, Dirichlet partition, edge assignment, model factory, cost model)
+// from one declarative spec. Every bench binary goes through this so the
+// paper's scenarios are reproducible from a handful of parameters.
+#pragma once
+
+#include <memory>
+
+#include "core/trainer.hpp"
+#include "data/partition.hpp"
+#include "data/synthetic.hpp"
+
+namespace groupfel::core {
+
+enum class ModelKind { kMlp, kResNet3, kCnn5 };
+
+struct ExperimentSpec {
+  cost::Task task = cost::Task::kCifar;
+  std::size_t num_clients = 300;
+  std::size_t num_edges = 3;
+  double alpha = 0.5;            ///< Dirichlet concentration
+  double size_mean = 110.0;      ///< client data count distribution (§7.2)
+  double size_std = 45.0;
+  std::size_t size_min = 20;
+  std::size_t size_max = 200;
+  std::size_t test_size = 2000;
+  ModelKind model = ModelKind::kMlp;
+  std::size_t mlp_hidden = 64;
+  std::uint64_t seed = 7;
+};
+
+struct Experiment {
+  FederationTopology topology;
+  data::SyntheticSpec data_spec;
+  std::shared_ptr<const data::DataSet> train_set;
+};
+
+/// Builds the federation. Deterministic in spec.seed.
+[[nodiscard]] Experiment build_experiment(const ExperimentSpec& spec);
+
+/// Cost model for a method on a task: training cost plus the sum of the
+/// secure-aggregation (regular or SCAFFOLD) and backdoor-detection
+/// overhead curves — the two group operations the paper measures.
+[[nodiscard]] cost::CostModel build_cost_model(cost::Task task,
+                                               cost::GroupOp secagg_variant);
+
+/// A paper-preset scaled to this repository's single-core budget. The
+/// `scale` knob (default from GROUPFEL_SCALE env var, 1.0 otherwise)
+/// multiplies client counts; benches use < 1 for quick runs.
+[[nodiscard]] ExperimentSpec default_cifar_spec(double scale = 1.0);
+[[nodiscard]] ExperimentSpec default_sc_spec(double scale = 1.0);
+
+}  // namespace groupfel::core

@@ -1,0 +1,45 @@
+// Cost-model calibration from wall-clock measurements of THIS repository's
+// own implementations — the substitute for the paper's Raspberry-Pi
+// measurements (Fig. 8). The measured curves confirm the functional shapes
+// (quadratic group ops, linear training) and can be scaled into a CostModel.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "cost/cost_model.hpp"
+#include "util/stats.hpp"
+
+namespace groupfel::cost {
+
+struct MeasurementPoint {
+  double x = 0.0;        ///< group size or sample count
+  double seconds = 0.0;  ///< measured wall-clock time
+};
+
+/// Measures the per-client cost of one secure-aggregation round (mask
+/// generation + share of server unmasking) for each group size in `sizes`,
+/// with model dimension `dim`.
+[[nodiscard]] std::vector<MeasurementPoint> measure_secagg(
+    std::span<const std::size_t> sizes, std::size_t dim);
+
+/// Measures FLAME backdoor filtering for each group size.
+[[nodiscard]] std::vector<MeasurementPoint> measure_backdoor(
+    std::span<const std::size_t> sizes, std::size_t dim);
+
+/// Measures one local training epoch for each sample count, given a model
+/// factory and a sample feature dimension.
+[[nodiscard]] std::vector<MeasurementPoint> measure_training(
+    std::span<const std::size_t> sample_counts, std::size_t feature_dim,
+    std::size_t num_classes);
+
+/// Fits a quadratic to group-op measurements, optionally scaling time by
+/// `scale` (e.g. to map this host's speed onto RPi-class seconds).
+[[nodiscard]] QuadraticCost fit_group_op(
+    std::span<const MeasurementPoint> points, double scale = 1.0);
+
+/// Fits a linear model to training measurements.
+[[nodiscard]] LinearCost fit_training(std::span<const MeasurementPoint> points,
+                                      double scale = 1.0);
+
+}  // namespace groupfel::cost

@@ -1,0 +1,64 @@
+#include "cost/cost_model.hpp"
+
+#include <stdexcept>
+
+namespace groupfel::cost {
+
+std::string to_string(Task task) {
+  switch (task) {
+    case Task::kCifar: return "CIFAR";
+    case Task::kSpeechCommands: return "SC";
+  }
+  return "?";
+}
+
+std::string to_string(GroupOp op) {
+  switch (op) {
+    case GroupOp::kNone: return "none";
+    case GroupOp::kSecAgg: return "SecAgg";
+    case GroupOp::kBackdoorDetection: return "BackdoorDetection";
+    case GroupOp::kScaffoldSecAgg: return "SCAFFOLD-SecAgg";
+  }
+  return "?";
+}
+
+double CostModel::group_round_cost(
+    std::span<const std::size_t> member_data_counts, std::size_t k_rounds,
+    std::size_t e_epochs) const {
+  const std::size_t g = member_data_counts.size();
+  double per_group_round = 0.0;
+  for (auto n_i : member_data_counts)
+    per_group_round += group_op_cost(g) +
+                       static_cast<double>(e_epochs) * training_cost(n_i);
+  return static_cast<double>(k_rounds) * per_group_round;
+}
+
+CostModel default_cost_model(Task task, GroupOp op) {
+  // Training: linear fits to the Fig. 8 training curves.
+  const LinearCost training = (task == Task::kCifar)
+                                  ? LinearCost{1.0, 0.4}    // ~50 s @ 50
+                                  : LinearCost{0.35, 0.25};  // ~18 s @ 50
+
+  // Group operations: quadratic fits to the Fig. 8 overhead curves. The SC
+  // model is smaller, so its mask/cosine vectors (and thus overheads) are
+  // roughly half the CIFAR ones.
+  const double task_scale = (task == Task::kCifar) ? 1.0 : 0.5;
+  QuadraticCost group_op{};
+  switch (op) {
+    case GroupOp::kNone:
+      break;
+    case GroupOp::kSecAgg:
+      group_op = {0.016 * task_scale, 0.10 * task_scale, 0.5 * task_scale};
+      break;
+    case GroupOp::kBackdoorDetection:
+      group_op = {0.008 * task_scale, 0.10 * task_scale, 0.2 * task_scale};
+      break;
+    case GroupOp::kScaffoldSecAgg:
+      // Control variates double the aggregated payload.
+      group_op = {0.022 * task_scale, 0.16 * task_scale, 0.7 * task_scale};
+      break;
+  }
+  return CostModel(training, group_op);
+}
+
+}  // namespace groupfel::cost

@@ -1,0 +1,76 @@
+#include "data/dataset.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace groupfel::data {
+
+DataSet::DataSet(nn::Tensor features, std::vector<std::int32_t> labels,
+                 std::size_t num_classes)
+    : features_(std::move(features)),
+      labels_(std::move(labels)),
+      classes_(num_classes) {
+  if (features_.rank() < 2)
+    throw std::invalid_argument("DataSet: features must be [N, ...]");
+  if (features_.dim(0) != labels_.size())
+    throw std::invalid_argument("DataSet: feature/label count mismatch");
+  for (auto l : labels_)
+    if (l < 0 || static_cast<std::size_t>(l) >= classes_)
+      throw std::invalid_argument("DataSet: label out of range");
+}
+
+std::size_t DataSet::sample_size() const noexcept {
+  return labels_.empty() ? 0 : features_.size() / labels_.size();
+}
+
+std::vector<std::size_t> DataSet::sample_shape() const {
+  return {features_.shape().begin() + 1, features_.shape().end()};
+}
+
+DataSet::Batch DataSet::gather(std::span<const std::size_t> indices) const {
+  const std::size_t stride = sample_size();
+  std::vector<std::size_t> shape = features_.shape();
+  shape[0] = indices.size();
+  Batch batch{nn::Tensor(shape), std::vector<std::int32_t>(indices.size())};
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    const std::size_t src = indices[i];
+    if (src >= size()) throw std::out_of_range("DataSet::gather: bad index");
+    std::copy_n(features_.raw() + src * stride, stride,
+                batch.features.raw() + i * stride);
+    batch.labels[i] = labels_[src];
+  }
+  return batch;
+}
+
+std::vector<std::vector<std::size_t>> DataSet::label_pools() const {
+  std::vector<std::vector<std::size_t>> pools(classes_);
+  for (std::size_t i = 0; i < labels_.size(); ++i)
+    pools[static_cast<std::size_t>(labels_[i])].push_back(i);
+  return pools;
+}
+
+ClientShard::ClientShard(std::shared_ptr<const DataSet> dataset,
+                         std::vector<std::size_t> indices)
+    : dataset_(std::move(dataset)), indices_(std::move(indices)) {
+  if (!dataset_) throw std::invalid_argument("ClientShard: null dataset");
+  for (auto i : indices_)
+    if (i >= dataset_->size())
+      throw std::invalid_argument("ClientShard: index out of range");
+}
+
+std::vector<std::size_t> ClientShard::label_counts() const {
+  std::vector<std::size_t> counts(dataset_->num_classes(), 0);
+  for (auto i : indices_)
+    ++counts[static_cast<std::size_t>(dataset_->label(i))];
+  return counts;
+}
+
+DataSet::Batch ClientShard::batch(
+    std::span<const std::size_t> local_positions) const {
+  std::vector<std::size_t> global;
+  global.reserve(local_positions.size());
+  for (auto p : local_positions) global.push_back(indices_.at(p));
+  return dataset_->gather(global);
+}
+
+}  // namespace groupfel::data

@@ -1,0 +1,45 @@
+#include "data/label_matrix.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+namespace groupfel::data {
+
+LabelMatrix::LabelMatrix(std::vector<std::vector<std::size_t>> rows,
+                         std::size_t num_labels)
+    : rows_(std::move(rows)), labels_(num_labels) {
+  for (const auto& r : rows_)
+    if (r.size() != labels_)
+      throw std::invalid_argument("LabelMatrix: ragged rows");
+}
+
+LabelMatrix LabelMatrix::from_shards(std::span<const ClientShard> shards) {
+  if (shards.empty()) return {};
+  std::vector<std::vector<std::size_t>> rows;
+  rows.reserve(shards.size());
+  const std::size_t m = shards[0].dataset().num_classes();
+  for (const auto& shard : shards) rows.push_back(shard.label_counts());
+  return LabelMatrix(std::move(rows), m);
+}
+
+std::size_t LabelMatrix::client_total(std::size_t client) const {
+  const auto& r = rows_.at(client);
+  return std::accumulate(r.begin(), r.end(), std::size_t{0});
+}
+
+std::vector<std::size_t> LabelMatrix::global_counts() const {
+  std::vector<std::size_t> sums(labels_, 0);
+  for (const auto& r : rows_)
+    for (std::size_t j = 0; j < labels_; ++j) sums[j] += r[j];
+  return sums;
+}
+
+LabelMatrix LabelMatrix::submatrix(
+    std::span<const std::size_t> clients) const {
+  std::vector<std::vector<std::size_t>> rows;
+  rows.reserve(clients.size());
+  for (auto c : clients) rows.push_back(rows_.at(c));
+  return LabelMatrix(std::move(rows), labels_);
+}
+
+}  // namespace groupfel::data

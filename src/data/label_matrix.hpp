@@ -1,0 +1,46 @@
+// The label matrix L from §5.1: L[i][j] = number of samples of label j on
+// client i. Grouping algorithms operate exclusively on this matrix — the
+// paper stresses that CoV needs "the data label distributions from users...
+// without any information of their local data, model, nor gradient".
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "data/dataset.hpp"
+
+namespace groupfel::data {
+
+class LabelMatrix {
+ public:
+  LabelMatrix() = default;
+
+  /// rows[i] is client i's per-label sample count.
+  LabelMatrix(std::vector<std::vector<std::size_t>> rows,
+              std::size_t num_labels);
+
+  /// Builds the matrix from client shards.
+  static LabelMatrix from_shards(std::span<const ClientShard> shards);
+
+  [[nodiscard]] std::size_t num_clients() const noexcept { return rows_.size(); }
+  [[nodiscard]] std::size_t num_labels() const noexcept { return labels_; }
+
+  [[nodiscard]] std::span<const std::size_t> row(std::size_t client) const {
+    return rows_.at(client);
+  }
+
+  /// Total samples on a client.
+  [[nodiscard]] std::size_t client_total(std::size_t client) const;
+
+  /// Column sums: the global label distribution (unnormalized).
+  [[nodiscard]] std::vector<std::size_t> global_counts() const;
+
+  /// Sub-matrix restricted to the given clients (used per edge server).
+  [[nodiscard]] LabelMatrix submatrix(std::span<const std::size_t> clients) const;
+
+ private:
+  std::vector<std::vector<std::size_t>> rows_;
+  std::size_t labels_ = 0;
+};
+
+}  // namespace groupfel::data

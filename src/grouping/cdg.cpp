@@ -1,0 +1,57 @@
+// CDG — clustering-then-distribution grouping, ported from OUEA [13].
+//
+// OUEA first clusters clients with similar label distributions, then deals
+// the members of each cluster across groups so that every group receives a
+// mix of client types and its combined distribution tends toward IID.
+// OUEA does not control group size; as the paper does in §7, we port it to
+// group formation by targeting floor(N / MinGS) groups.
+#include <algorithm>
+
+#include "grouping/grouping.hpp"
+#include "grouping/kmeans.hpp"
+
+namespace groupfel::grouping {
+
+Grouping cdg_grouping(const data::LabelMatrix& matrix,
+                      const GroupingParams& params, runtime::Rng& rng) {
+  const std::size_t n = matrix.num_clients();
+  const std::size_t gs = std::max<std::size_t>(1, params.min_group_size);
+  const std::size_t num_groups = std::max<std::size_t>(1, n / gs);
+
+  // Normalized label distributions as clustering features.
+  std::vector<std::vector<double>> points(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto row = matrix.row(i);
+    const double total = static_cast<double>(matrix.client_total(i));
+    points[i].resize(row.size());
+    for (std::size_t j = 0; j < row.size(); ++j)
+      points[i][j] = total > 0 ? static_cast<double>(row[j]) / total : 0.0;
+  }
+
+  const std::size_t k =
+      params.num_clusters > 0 ? params.num_clusters : matrix.num_labels();
+  const KMeansResult km = kmeans(points, k, rng);
+
+  // Gather clusters, shuffle within each so the deal is unbiased.
+  std::vector<std::vector<std::size_t>> clusters(km.centroids.size());
+  for (std::size_t i = 0; i < n; ++i) clusters[km.assignment[i]].push_back(i);
+  for (auto& c : clusters) rng.shuffle(c);
+
+  // Deal round-robin: consecutive members of the same cluster land in
+  // different groups, so each group samples all client types.
+  Grouping groups(num_groups);
+  std::size_t cursor = 0;
+  for (const auto& cluster : clusters)
+    for (auto client : cluster) {
+      groups[cursor % num_groups].push_back(client);
+      ++cursor;
+    }
+
+  // Drop empty groups (possible when n < num_groups).
+  groups.erase(std::remove_if(groups.begin(), groups.end(),
+                              [](const auto& g) { return g.empty(); }),
+               groups.end());
+  return groups;
+}
+
+}  // namespace groupfel::grouping

@@ -1,0 +1,108 @@
+#include "grouping/cov.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace groupfel::grouping {
+
+namespace {
+/// Shared kernel: sum of squared deviations from the balanced count n_g/m.
+double squared_deviation_sum(std::span<const std::size_t> counts,
+                             std::size_t total) {
+  const double mu =
+      static_cast<double>(total) / static_cast<double>(counts.size());
+  double s = 0.0;
+  for (auto c : counts) {
+    const double d = mu - static_cast<double>(c);
+    s += d * d;
+  }
+  return s;
+}
+}  // namespace
+
+double cov(std::span<const std::size_t> label_counts) {
+  if (label_counts.empty()) throw std::invalid_argument("cov: no labels");
+  std::size_t total = 0;
+  for (auto c : label_counts) total += c;
+  if (total == 0) return 0.0;
+  const double m = static_cast<double>(label_counts.size());
+  const double sigma =
+      std::sqrt(squared_deviation_sum(label_counts, total) / m);
+  const double mu = static_cast<double>(total) / m;
+  return sigma / mu;
+}
+
+double cov_paper_literal(std::span<const std::size_t> label_counts) {
+  if (label_counts.empty())
+    throw std::invalid_argument("cov_paper_literal: no labels");
+  std::size_t total = 0;
+  for (auto c : label_counts) total += c;
+  if (total == 0) return 0.0;
+  return std::sqrt(squared_deviation_sum(label_counts, total) /
+                   static_cast<double>(total));
+}
+
+std::vector<std::size_t> group_label_counts(
+    const data::LabelMatrix& matrix, std::span<const std::size_t> clients) {
+  std::vector<std::size_t> counts(matrix.num_labels(), 0);
+  for (auto c : clients) {
+    const auto row = matrix.row(c);
+    for (std::size_t j = 0; j < counts.size(); ++j) counts[j] += row[j];
+  }
+  return counts;
+}
+
+double group_cov(const data::LabelMatrix& matrix,
+                 std::span<const std::size_t> clients) {
+  return cov(group_label_counts(matrix, clients));
+}
+
+IncrementalCov::IncrementalCov(std::size_t num_labels)
+    : counts_(num_labels, 0) {
+  if (num_labels == 0) throw std::invalid_argument("IncrementalCov: no labels");
+}
+
+void IncrementalCov::add(std::span<const std::size_t> client_counts) {
+  if (client_counts.size() != counts_.size())
+    throw std::invalid_argument("IncrementalCov::add: label count mismatch");
+  for (std::size_t j = 0; j < counts_.size(); ++j) {
+    counts_[j] += client_counts[j];
+    total_ += client_counts[j];
+  }
+}
+
+void IncrementalCov::remove(std::span<const std::size_t> client_counts) {
+  if (client_counts.size() != counts_.size())
+    throw std::invalid_argument("IncrementalCov::remove: label count mismatch");
+  for (std::size_t j = 0; j < counts_.size(); ++j) {
+    if (counts_[j] < client_counts[j])
+      throw std::logic_error("IncrementalCov::remove: underflow");
+    counts_[j] -= client_counts[j];
+    total_ -= client_counts[j];
+  }
+}
+
+double IncrementalCov::value() const { return cov(counts_); }
+
+double IncrementalCov::value_with(
+    std::span<const std::size_t> client_counts) const {
+  if (client_counts.size() != counts_.size())
+    throw std::invalid_argument("IncrementalCov::value_with: size mismatch");
+  const double m = static_cast<double>(counts_.size());
+  double combined_total = 0.0;
+  double s = 0.0;
+  // Two passes over m entries: total first, then deviations.
+  std::size_t total = 0;
+  for (std::size_t j = 0; j < counts_.size(); ++j)
+    total += counts_[j] + client_counts[j];
+  if (total == 0) return 0.0;
+  combined_total = static_cast<double>(total);
+  const double mu = combined_total / m;
+  for (std::size_t j = 0; j < counts_.size(); ++j) {
+    const double d = mu - static_cast<double>(counts_[j] + client_counts[j]);
+    s += d * d;
+  }
+  return std::sqrt(s / m) / mu;
+}
+
+}  // namespace groupfel::grouping

@@ -1,0 +1,59 @@
+// CoV-Grouping — the paper's Algorithm 2.
+//
+// Greedy: open a group with a random client, then repeatedly add the client
+// that minimizes the group's CoV, while the group is under MinGS or above
+// MaxCoV. The group is finalized when no candidate improves the CoV and the
+// size constraint is met (MaxCoV is soft — see the paper's footnote 4).
+#include <limits>
+#include <numeric>
+
+#include "grouping/grouping.hpp"
+
+namespace groupfel::grouping {
+
+Grouping cov_grouping(const data::LabelMatrix& matrix,
+                      const GroupingParams& params, runtime::Rng& rng) {
+  const std::size_t n = matrix.num_clients();
+  Grouping groups;
+  std::vector<std::size_t> pool(n);
+  std::iota(pool.begin(), pool.end(), std::size_t{0});
+
+  while (!pool.empty()) {
+    // Line 3: random first client — the paper notes this randomization is
+    // what makes periodic regrouping produce fresh groups.
+    const std::size_t first_pos = rng.next_below(pool.size());
+    std::vector<std::size_t> group{pool[first_pos]};
+    pool.erase(pool.begin() + static_cast<std::ptrdiff_t>(first_pos));
+
+    IncrementalCov inc(matrix.num_labels());
+    inc.add(matrix.row(group[0]));
+
+    // Line 4: loop while the group does not yet meet its requirement.
+    while ((inc.value() > params.max_cov ||
+            group.size() < params.min_group_size) &&
+           !pool.empty()) {
+      // Line 5: the candidate that minimizes CoV(g ∪ c).
+      double best_cov = std::numeric_limits<double>::infinity();
+      std::size_t best_pos = 0;
+      for (std::size_t pos = 0; pos < pool.size(); ++pos) {
+        const double c = inc.value_with(matrix.row(pool[pos]));
+        if (c < best_cov) {
+          best_cov = c;
+          best_pos = pos;
+        }
+      }
+      // Line 6: add if it improves CoV, or the group is still too small.
+      if (best_cov < inc.value() || group.size() < params.min_group_size) {
+        inc.add(matrix.row(pool[best_pos]));
+        group.push_back(pool[best_pos]);
+        pool.erase(pool.begin() + static_cast<std::ptrdiff_t>(best_pos));
+      } else {
+        break;  // Line 9: finalize (MaxCoV is a soft constraint).
+      }
+    }
+    groups.push_back(std::move(group));
+  }
+  return groups;
+}
+
+}  // namespace groupfel::grouping

@@ -1,0 +1,86 @@
+// Common grouping interface.
+//
+// A grouping is a partition of the clients of ONE edge server (identified by
+// their row index in that edge's LabelMatrix) into mutually exclusive
+// groups, per §3.1. Four algorithms are provided:
+//   - CoVG  : the paper's CoV-Grouping greedy (Algorithm 2)
+//   - RG    : random grouping (FedAvg/FedProx/SCAFFOLD baseline)
+//   - CDG   : clustering-then-distribution, ported from OUEA [13]
+//   - KLDG  : KL-divergence grouping, ported from SHARE [14]
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "data/label_matrix.hpp"
+#include "grouping/cov.hpp"
+#include "runtime/rng.hpp"
+
+namespace groupfel::grouping {
+
+/// Groups are lists of client indices (rows of the edge's LabelMatrix).
+using Grouping = std::vector<std::vector<std::size_t>>;
+
+struct GroupingParams {
+  std::size_t min_group_size = 5;  ///< MinGS anonymity constraint (Eq. 31)
+  double max_cov = 1.0;            ///< MaxCoV soft constraint (CoVG only)
+  std::size_t num_clusters = 0;    ///< CDG: #clusters (0 = num_labels)
+  double kld_threshold = 0.01;     ///< KLDG: target KLD to global dist
+};
+
+/// The paper's Algorithm 2 (greedy CoV grouping).
+[[nodiscard]] Grouping cov_grouping(const data::LabelMatrix& matrix,
+                                    const GroupingParams& params,
+                                    runtime::Rng& rng);
+
+/// Uniform random partition into groups of ~min_group_size clients.
+[[nodiscard]] Grouping random_grouping(const data::LabelMatrix& matrix,
+                                       const GroupingParams& params,
+                                       runtime::Rng& rng);
+
+/// OUEA's clustering-then-distribution: k-means over normalized label
+/// distributions, then members of each cluster are dealt round-robin across
+/// groups so each group mixes all client types.
+[[nodiscard]] Grouping cdg_grouping(const data::LabelMatrix& matrix,
+                                    const GroupingParams& params,
+                                    runtime::Rng& rng);
+
+/// SHARE's KLD-based greedy: like Algorithm 2 but the criterion is the
+/// Kullback–Leibler divergence between the group's label distribution and
+/// the global one, recomputed from scratch per candidate (hence the
+/// O(|K|^4 |Y|) complexity the paper measures in Fig. 5).
+[[nodiscard]] Grouping kldg_grouping(const data::LabelMatrix& matrix,
+                                     const GroupingParams& params,
+                                     runtime::Rng& rng);
+
+// ---- Registry (grouping/registry.cpp) ----
+
+enum class GroupingMethod { kRandom, kCdg, kKldg, kCov };
+
+[[nodiscard]] Grouping form_groups(GroupingMethod method,
+                                   const data::LabelMatrix& matrix,
+                                   const GroupingParams& params,
+                                   runtime::Rng& rng);
+
+[[nodiscard]] std::string to_string(GroupingMethod method);
+[[nodiscard]] GroupingMethod grouping_method_from_string(const std::string& name);
+
+/// Validates that `grouping` is a partition of [0, matrix.num_clients());
+/// throws std::logic_error otherwise. Called by form_groups in debug paths
+/// and by tests.
+void validate_partition(const Grouping& grouping, std::size_t num_clients);
+
+/// Summary statistics used by Table 1 and Fig. 6.
+struct GroupingSummary {
+  std::size_t num_groups = 0;
+  std::size_t min_size = 0;
+  std::size_t max_size = 0;
+  double avg_size = 0.0;
+  double avg_cov = 0.0;   ///< unweighted mean of group CoVs
+  double max_group_cov = 0.0;
+};
+
+[[nodiscard]] GroupingSummary summarize(const data::LabelMatrix& matrix,
+                                        const Grouping& grouping);
+
+}  // namespace groupfel::grouping

@@ -1,0 +1,99 @@
+#include "grouping/kmeans.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace groupfel::grouping {
+
+namespace {
+double sq_dist(const std::vector<double>& a, const std::vector<double>& b) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    s += d * d;
+  }
+  return s;
+}
+}  // namespace
+
+KMeansResult kmeans(const std::vector<std::vector<double>>& points,
+                    std::size_t k, runtime::Rng& rng, std::size_t max_iters) {
+  const std::size_t n = points.size();
+  if (n == 0) throw std::invalid_argument("kmeans: no points");
+  if (k == 0) throw std::invalid_argument("kmeans: k == 0");
+  k = std::min(k, n);
+  const std::size_t dim = points[0].size();
+  for (const auto& p : points)
+    if (p.size() != dim) throw std::invalid_argument("kmeans: ragged points");
+
+  KMeansResult res;
+  res.centroids.reserve(k);
+
+  // k-means++ seeding.
+  res.centroids.push_back(points[rng.next_below(n)]);
+  std::vector<double> d2(n, 0.0);
+  while (res.centroids.size() < k) {
+    double total = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      double best = std::numeric_limits<double>::infinity();
+      for (const auto& c : res.centroids)
+        best = std::min(best, sq_dist(points[i], c));
+      d2[i] = best;
+      total += best;
+    }
+    if (total <= 0.0) {
+      // All remaining points coincide with centroids; pick arbitrarily.
+      res.centroids.push_back(points[rng.next_below(n)]);
+      continue;
+    }
+    res.centroids.push_back(points[rng.categorical(d2)]);
+  }
+
+  res.assignment.assign(n, 0);
+  for (std::size_t iter = 0; iter < max_iters; ++iter) {
+    ++res.iterations;
+    bool changed = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      double best = std::numeric_limits<double>::infinity();
+      std::size_t best_c = 0;
+      for (std::size_t c = 0; c < res.centroids.size(); ++c) {
+        const double d = sq_dist(points[i], res.centroids[c]);
+        if (d < best) {
+          best = d;
+          best_c = c;
+        }
+      }
+      if (res.assignment[i] != best_c) {
+        res.assignment[i] = best_c;
+        changed = true;
+      }
+    }
+    if (!changed && iter > 0) break;
+
+    // Recompute centroids; empty clusters are reseeded to a random point.
+    std::vector<std::vector<double>> sums(res.centroids.size(),
+                                          std::vector<double>(dim, 0.0));
+    std::vector<std::size_t> counts(res.centroids.size(), 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      ++counts[res.assignment[i]];
+      for (std::size_t d = 0; d < dim; ++d)
+        sums[res.assignment[i]][d] += points[i][d];
+    }
+    for (std::size_t c = 0; c < res.centroids.size(); ++c) {
+      if (counts[c] == 0) {
+        res.centroids[c] = points[rng.next_below(n)];
+        continue;
+      }
+      for (std::size_t d = 0; d < dim; ++d)
+        res.centroids[c][d] = sums[c][d] / static_cast<double>(counts[c]);
+    }
+  }
+
+  res.inertia = 0.0;
+  for (std::size_t i = 0; i < n; ++i)
+    res.inertia += sq_dist(points[i], res.centroids[res.assignment[i]]);
+  return res;
+}
+
+}  // namespace groupfel::grouping

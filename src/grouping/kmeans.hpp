@@ -1,0 +1,25 @@
+// k-means over client label distributions — the clustering stage of CDG
+// (OUEA's grouping baseline). Built from scratch: k-means++ seeding plus
+// Lloyd iterations with an empty-cluster reseed rule.
+#pragma once
+
+#include <vector>
+
+#include "runtime/rng.hpp"
+
+namespace groupfel::grouping {
+
+struct KMeansResult {
+  std::vector<std::size_t> assignment;            ///< point -> cluster
+  std::vector<std::vector<double>> centroids;     ///< k x dim
+  double inertia = 0.0;                           ///< sum of squared dists
+  std::size_t iterations = 0;
+};
+
+/// Clusters `points` (n x dim) into k clusters. `max_iters` bounds Lloyd
+/// iterations; convergence is detected when no assignment changes.
+[[nodiscard]] KMeansResult kmeans(const std::vector<std::vector<double>>& points,
+                                  std::size_t k, runtime::Rng& rng,
+                                  std::size_t max_iters = 100);
+
+}  // namespace groupfel::grouping

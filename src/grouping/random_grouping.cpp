@@ -1,0 +1,31 @@
+// Random grouping (RG): shuffle clients and cut into consecutive chunks of
+// min_group_size. The last chunk absorbs the remainder so every group still
+// satisfies the anonymity constraint (Eq. 31).
+#include <numeric>
+
+#include "grouping/grouping.hpp"
+
+namespace groupfel::grouping {
+
+Grouping random_grouping(const data::LabelMatrix& matrix,
+                         const GroupingParams& params, runtime::Rng& rng) {
+  const std::size_t n = matrix.num_clients();
+  const std::size_t gs = std::max<std::size_t>(1, params.min_group_size);
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  rng.shuffle(order);
+
+  Grouping groups;
+  std::size_t i = 0;
+  while (i < n) {
+    const std::size_t remaining = n - i;
+    // If the tail would be smaller than gs, merge it into this final group.
+    const std::size_t take = (remaining < 2 * gs) ? remaining : gs;
+    groups.emplace_back(order.begin() + static_cast<std::ptrdiff_t>(i),
+                        order.begin() + static_cast<std::ptrdiff_t>(i + take));
+    i += take;
+  }
+  return groups;
+}
+
+}  // namespace groupfel::grouping

@@ -1,0 +1,74 @@
+#include <stdexcept>
+
+#include "grouping/grouping.hpp"
+
+namespace groupfel::grouping {
+
+Grouping form_groups(GroupingMethod method, const data::LabelMatrix& matrix,
+                     const GroupingParams& params, runtime::Rng& rng) {
+  switch (method) {
+    case GroupingMethod::kRandom: return random_grouping(matrix, params, rng);
+    case GroupingMethod::kCdg: return cdg_grouping(matrix, params, rng);
+    case GroupingMethod::kKldg: return kldg_grouping(matrix, params, rng);
+    case GroupingMethod::kCov: return cov_grouping(matrix, params, rng);
+  }
+  throw std::invalid_argument("form_groups: unknown method");
+}
+
+std::string to_string(GroupingMethod method) {
+  switch (method) {
+    case GroupingMethod::kRandom: return "RG";
+    case GroupingMethod::kCdg: return "CDG";
+    case GroupingMethod::kKldg: return "KLDG";
+    case GroupingMethod::kCov: return "CoVG";
+  }
+  return "?";
+}
+
+GroupingMethod grouping_method_from_string(const std::string& name) {
+  if (name == "RG" || name == "random") return GroupingMethod::kRandom;
+  if (name == "CDG" || name == "cdg") return GroupingMethod::kCdg;
+  if (name == "KLDG" || name == "kldg") return GroupingMethod::kKldg;
+  if (name == "CoVG" || name == "cov") return GroupingMethod::kCov;
+  throw std::invalid_argument("unknown grouping method: " + name);
+}
+
+void validate_partition(const Grouping& grouping, std::size_t num_clients) {
+  std::vector<bool> seen(num_clients, false);
+  std::size_t total = 0;
+  for (const auto& g : grouping) {
+    if (g.empty()) throw std::logic_error("validate_partition: empty group");
+    for (auto c : g) {
+      if (c >= num_clients)
+        throw std::logic_error("validate_partition: client out of range");
+      if (seen[c])
+        throw std::logic_error("validate_partition: client in two groups");
+      seen[c] = true;
+      ++total;
+    }
+  }
+  if (total != num_clients)
+    throw std::logic_error("validate_partition: not all clients grouped");
+}
+
+GroupingSummary summarize(const data::LabelMatrix& matrix,
+                          const Grouping& grouping) {
+  GroupingSummary s;
+  s.num_groups = grouping.size();
+  if (grouping.empty()) return s;
+  s.min_size = grouping[0].size();
+  double size_sum = 0.0, cov_sum = 0.0;
+  for (const auto& g : grouping) {
+    s.min_size = std::min(s.min_size, g.size());
+    s.max_size = std::max(s.max_size, g.size());
+    size_sum += static_cast<double>(g.size());
+    const double c = group_cov(matrix, g);
+    cov_sum += c;
+    s.max_group_cov = std::max(s.max_group_cov, c);
+  }
+  s.avg_size = size_sum / static_cast<double>(grouping.size());
+  s.avg_cov = cov_sum / static_cast<double>(grouping.size());
+  return s;
+}
+
+}  // namespace groupfel::grouping

@@ -1,0 +1,38 @@
+#include "net/network_model.hpp"
+
+#include <algorithm>
+
+namespace groupfel::net {
+
+double NetworkModel::group_time(const GroupRoundTiming& timing) const {
+  double per_round = 0.0;
+  // Slowest member gates the group round: download group model, compute,
+  // upload the local model.
+  double slowest = 0.0;
+  for (double compute : timing.member_compute_s) {
+    const double member = spec_.client_edge.transfer_time(timing.model_bytes) +
+                          compute +
+                          spec_.client_edge.transfer_time(timing.model_bytes);
+    slowest = std::max(slowest, member);
+  }
+  per_round = slowest + timing.group_op_s;
+  return static_cast<double>(timing.k_rounds) * per_round;
+}
+
+double NetworkModel::global_round_time(
+    std::span<const GroupRoundTiming> sampled_groups) const {
+  double slowest_group = 0.0;
+  double max_bytes = 0.0;
+  for (const auto& g : sampled_groups) {
+    slowest_group = std::max(slowest_group, group_time(g));
+    max_bytes = std::max(max_bytes, g.model_bytes);
+  }
+  // Edge -> cloud upload of the group model, then broadcast back down
+  // through both hops.
+  const double up = spec_.edge_cloud.transfer_time(max_bytes);
+  const double down = spec_.edge_cloud.transfer_time(max_bytes) +
+                      spec_.client_edge.transfer_time(max_bytes);
+  return slowest_group + up + down;
+}
+
+}  // namespace groupfel::net

@@ -1,0 +1,81 @@
+// Edge-network model: per-hop latency/bandwidth and a wall-clock estimator
+// for hierarchical FL rounds.
+//
+// The paper's §2.3 argues that counting global rounds misleads: methods
+// like SCAFFOLD buy fewer rounds with more per-round communication and can
+// lose on wall-clock time. This module prices one Algorithm 1 global round
+// under a client-edge-cloud topology:
+//
+//   round time = max over sampled groups of
+//                  K * ( max over members of (compute_i + up/down to edge)
+//                        + group-op time )
+//                + group->cloud upload + cloud aggregation + broadcast
+//
+// Groups and clients run in parallel (max), the K group rounds and the
+// cloud hop are sequential (+). Communication volume scales with the
+// model's byte size and the local rule's communication factor (SCAFFOLD
+// ships control variates: factor 2).
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace groupfel::net {
+
+/// One directed link's characteristics.
+struct LinkSpec {
+  double latency_s = 0.01;        ///< one-way latency
+  double bandwidth_bps = 10e6;    ///< bits per second
+
+  /// Transfer time for a payload of `bytes`.
+  [[nodiscard]] double transfer_time(double bytes) const {
+    return latency_s + (bytes * 8.0) / bandwidth_bps;
+  }
+};
+
+/// Client-edge-cloud network. Defaults approximate a WiFi edge (10 Mbps,
+/// 10 ms) and a metro backhaul (100 Mbps, 20 ms).
+struct NetworkSpec {
+  LinkSpec client_edge{0.010, 10e6};
+  LinkSpec edge_cloud{0.020, 100e6};
+};
+
+/// Inputs for pricing one group's participation in one global round.
+struct GroupRoundTiming {
+  /// Per-member local compute time for E epochs (seconds).
+  std::span<const double> member_compute_s;
+  /// Per-client group-operation time O_g(|g|) (seconds).
+  double group_op_s = 0.0;
+  /// Group rounds K.
+  std::size_t k_rounds = 1;
+  /// Bytes of one model upload (scaled by the rule's comm factor already).
+  double model_bytes = 0.0;
+};
+
+class NetworkModel {
+ public:
+  explicit NetworkModel(NetworkSpec spec = {}) : spec_(spec) {}
+
+  [[nodiscard]] const NetworkSpec& spec() const noexcept { return spec_; }
+
+  /// Wall-clock seconds for one group to finish its K group rounds:
+  /// per round, the slowest member gates the group (download + compute +
+  /// upload in parallel across members), then the group operation runs.
+  [[nodiscard]] double group_time(const GroupRoundTiming& timing) const;
+
+  /// Wall-clock seconds for one GLOBAL round: slowest sampled group, plus
+  /// the edge->cloud upload and the global model broadcast back down.
+  [[nodiscard]] double global_round_time(
+      std::span<const GroupRoundTiming> sampled_groups) const;
+
+ private:
+  NetworkSpec spec_;
+};
+
+/// Bytes of a float32 model with `params` parameters plus a fixed header.
+[[nodiscard]] constexpr double model_bytes(std::size_t params,
+                                           double comm_factor = 1.0) {
+  return (static_cast<double>(params) * 4.0 + 256.0) * comm_factor;
+}
+
+}  // namespace groupfel::net

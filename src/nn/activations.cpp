@@ -1,0 +1,151 @@
+#include "nn/activations.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace groupfel::nn {
+
+// ---------------- Sigmoid ----------------
+
+Tensor Sigmoid::forward(const Tensor& input, bool train) {
+  Tensor out = input;
+  for (auto& v : out.data())
+    v = 1.0f / (1.0f + std::exp(-v));
+  if (train) cached_output_ = out;
+  return out;
+}
+
+Tensor Sigmoid::backward(const Tensor& grad_out) {
+  if (cached_output_.size() != grad_out.size())
+    throw std::logic_error("Sigmoid::backward without forward(train=true)");
+  Tensor grad_in = grad_out;
+  auto g = grad_in.data();
+  const auto y = cached_output_.data();
+  for (std::size_t i = 0; i < g.size(); ++i) g[i] *= y[i] * (1.0f - y[i]);
+  return grad_in;
+}
+
+std::unique_ptr<Layer> Sigmoid::clone() const {
+  return std::make_unique<Sigmoid>();
+}
+
+// ---------------- Tanh ----------------
+
+Tensor Tanh::forward(const Tensor& input, bool train) {
+  Tensor out = input;
+  for (auto& v : out.data()) v = std::tanh(v);
+  if (train) cached_output_ = out;
+  return out;
+}
+
+Tensor Tanh::backward(const Tensor& grad_out) {
+  if (cached_output_.size() != grad_out.size())
+    throw std::logic_error("Tanh::backward without forward(train=true)");
+  Tensor grad_in = grad_out;
+  auto g = grad_in.data();
+  const auto y = cached_output_.data();
+  for (std::size_t i = 0; i < g.size(); ++i) g[i] *= 1.0f - y[i] * y[i];
+  return grad_in;
+}
+
+std::unique_ptr<Layer> Tanh::clone() const { return std::make_unique<Tanh>(); }
+
+// ---------------- Dropout ----------------
+
+Dropout::Dropout(float p, std::uint64_t seed)
+    : p_(p), seed_(seed), mask_rng_(seed) {
+  if (p_ < 0.0f || p_ >= 1.0f)
+    throw std::invalid_argument("Dropout: p must be in [0, 1)");
+}
+
+void Dropout::init(runtime::Rng& rng) {
+  // Derive a fresh deterministic mask stream from the model init stream.
+  seed_ = rng.next_u64();
+  mask_rng_ = runtime::Rng(seed_);
+}
+
+Tensor Dropout::forward(const Tensor& input, bool train) {
+  if (!train || p_ == 0.0f) {
+    mask_.clear();
+    return input;
+  }
+  Tensor out = input;
+  mask_.resize(input.size());
+  const float keep = 1.0f - p_;
+  const float scale = 1.0f / keep;
+  auto data = out.data();
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const bool kept = mask_rng_.next_double() < static_cast<double>(keep);
+    mask_[i] = kept ? scale : 0.0f;
+    data[i] *= mask_[i];
+  }
+  return out;
+}
+
+Tensor Dropout::backward(const Tensor& grad_out) {
+  if (mask_.empty()) return grad_out;  // eval-mode or p == 0 forward
+  if (mask_.size() != grad_out.size())
+    throw std::logic_error("Dropout::backward: mask/grad size mismatch");
+  Tensor grad_in = grad_out;
+  auto g = grad_in.data();
+  for (std::size_t i = 0; i < g.size(); ++i) g[i] *= mask_[i];
+  return grad_in;
+}
+
+std::unique_ptr<Layer> Dropout::clone() const {
+  return std::make_unique<Dropout>(p_, seed_);
+}
+
+// ---------------- AvgPool2d ----------------
+
+AvgPool2d::AvgPool2d(std::size_t window) : window_(window) {
+  if (window_ == 0) throw std::invalid_argument("AvgPool2d: window == 0");
+}
+
+Tensor AvgPool2d::forward(const Tensor& input, bool train) {
+  if (input.rank() != 4)
+    throw std::invalid_argument("AvgPool2d: expected 4-D input");
+  const std::size_t n = input.dim(0), c = input.dim(1), h = input.dim(2),
+                    w = input.dim(3);
+  const std::size_t ho = h / window_, wo = w / window_;
+  if (ho == 0 || wo == 0)
+    throw std::invalid_argument("AvgPool2d: window larger than input");
+  Tensor out({n, c, ho, wo});
+  const float inv = 1.0f / static_cast<float>(window_ * window_);
+  for (std::size_t ni = 0; ni < n; ++ni)
+    for (std::size_t ci = 0; ci < c; ++ci)
+      for (std::size_t oy = 0; oy < ho; ++oy)
+        for (std::size_t ox = 0; ox < wo; ++ox) {
+          float acc = 0.0f;
+          for (std::size_t ky = 0; ky < window_; ++ky)
+            for (std::size_t kx = 0; kx < window_; ++kx)
+              acc += input.at4(ni, ci, oy * window_ + ky, ox * window_ + kx);
+          out.at4(ni, ci, oy, ox) = acc * inv;
+        }
+  if (train) cached_shape_ = input.shape();
+  return out;
+}
+
+Tensor AvgPool2d::backward(const Tensor& grad_out) {
+  if (cached_shape_.empty())
+    throw std::logic_error("AvgPool2d::backward without forward(train=true)");
+  Tensor grad_in(cached_shape_);
+  const std::size_t ho = grad_out.dim(2), wo = grad_out.dim(3);
+  const float inv = 1.0f / static_cast<float>(window_ * window_);
+  for (std::size_t ni = 0; ni < grad_out.dim(0); ++ni)
+    for (std::size_t ci = 0; ci < grad_out.dim(1); ++ci)
+      for (std::size_t oy = 0; oy < ho; ++oy)
+        for (std::size_t ox = 0; ox < wo; ++ox) {
+          const float g = grad_out.at4(ni, ci, oy, ox) * inv;
+          for (std::size_t ky = 0; ky < window_; ++ky)
+            for (std::size_t kx = 0; kx < window_; ++kx)
+              grad_in.at4(ni, ci, oy * window_ + ky, ox * window_ + kx) += g;
+        }
+  return grad_in;
+}
+
+std::unique_ptr<Layer> AvgPool2d::clone() const {
+  return std::make_unique<AvgPool2d>(window_);
+}
+
+}  // namespace groupfel::nn

@@ -1,0 +1,73 @@
+// Additional activation / regularization layers beyond ReLU: Sigmoid, Tanh,
+// and (inverted) Dropout. Not used by the paper's three architectures, but
+// part of the public layer library so downstream models are not limited to
+// the reproduction set.
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace groupfel::nn {
+
+/// Elementwise logistic sigmoid.
+class Sigmoid final : public Layer {
+ public:
+  Tensor forward(const Tensor& input, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  [[nodiscard]] std::unique_ptr<Layer> clone() const override;
+  [[nodiscard]] std::string name() const override { return "Sigmoid"; }
+
+ private:
+  Tensor cached_output_;
+};
+
+/// Elementwise hyperbolic tangent.
+class Tanh final : public Layer {
+ public:
+  Tensor forward(const Tensor& input, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  [[nodiscard]] std::unique_ptr<Layer> clone() const override;
+  [[nodiscard]] std::string name() const override { return "Tanh"; }
+
+ private:
+  Tensor cached_output_;
+};
+
+/// Inverted dropout: keeps each unit with probability 1-p during training
+/// and scales survivors by 1/(1-p); identity at inference. The mask stream
+/// is seeded at construction (and reseeded by init()) so training runs are
+/// deterministic.
+class Dropout final : public Layer {
+ public:
+  explicit Dropout(float p, std::uint64_t seed = 0xd20d0u);
+
+  Tensor forward(const Tensor& input, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  [[nodiscard]] std::unique_ptr<Layer> clone() const override;
+  void init(runtime::Rng& rng) override;
+  [[nodiscard]] std::string name() const override { return "Dropout"; }
+
+  [[nodiscard]] float p() const noexcept { return p_; }
+
+ private:
+  float p_;
+  std::uint64_t seed_;
+  runtime::Rng mask_rng_;
+  std::vector<float> mask_;
+};
+
+/// Non-overlapping average pooling with a square window.
+class AvgPool2d final : public Layer {
+ public:
+  explicit AvgPool2d(std::size_t window);
+
+  Tensor forward(const Tensor& input, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  [[nodiscard]] std::unique_ptr<Layer> clone() const override;
+  [[nodiscard]] std::string name() const override { return "AvgPool2d"; }
+
+ private:
+  std::size_t window_;
+  std::vector<std::size_t> cached_shape_;
+};
+
+}  // namespace groupfel::nn

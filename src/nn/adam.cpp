@@ -1,0 +1,43 @@
+#include "nn/adam.hpp"
+
+#include <cmath>
+
+namespace groupfel::nn {
+
+void AdamOptimizer::step(Model& model,
+                         const SgdOptimizer::GradAdjust& adjust) {
+  const std::size_t total = model.param_count();
+  if (m_.size() != total) {
+    m_.assign(total, 0.0f);
+    v_.assign(total, 0.0f);
+    t_ = 0;
+  }
+  ++t_;
+  const float bias1 =
+      1.0f - std::pow(opts_.beta1, static_cast<float>(t_));
+  const float bias2 =
+      1.0f - std::pow(opts_.beta2, static_cast<float>(t_));
+
+  std::size_t offset = 0;
+  model.for_each_param([&](Tensor& p, Tensor& g) {
+    auto param = p.data();
+    auto grad = g.data();
+    if (opts_.weight_decay != 0.0f)
+      for (std::size_t i = 0; i < grad.size(); ++i)
+        grad[i] += opts_.weight_decay * param[i];
+    if (adjust) adjust(offset, param, grad);
+
+    for (std::size_t i = 0; i < grad.size(); ++i) {
+      float& m = m_[offset + i];
+      float& v = v_[offset + i];
+      m = opts_.beta1 * m + (1.0f - opts_.beta1) * grad[i];
+      v = opts_.beta2 * v + (1.0f - opts_.beta2) * grad[i] * grad[i];
+      const float m_hat = m / bias1;
+      const float v_hat = v / bias2;
+      param[i] -= opts_.lr * m_hat / (std::sqrt(v_hat) + opts_.eps);
+    }
+    offset += param.size();
+  });
+}
+
+}  // namespace groupfel::nn

@@ -1,0 +1,35 @@
+// Adam optimizer (Kingma & Ba). The paper's experiments use plain SGD; Adam
+// is provided as part of the optimizer library and used by the extension
+// benches to sanity-check that conclusions are not SGD artifacts.
+#pragma once
+
+#include "nn/optimizer.hpp"
+
+namespace groupfel::nn {
+
+struct AdamOptions {
+  float lr = 1e-3f;
+  float beta1 = 0.9f;
+  float beta2 = 0.999f;
+  float eps = 1e-8f;
+  float weight_decay = 0.0f;
+};
+
+class AdamOptimizer {
+ public:
+  explicit AdamOptimizer(AdamOptions opts) : opts_(opts) {}
+
+  /// One Adam step over the model's accumulated gradients. The optional
+  /// `adjust` hook mirrors SgdOptimizer's (FedProx/SCAFFOLD support).
+  void step(Model& model, const SgdOptimizer::GradAdjust& adjust = nullptr);
+
+  [[nodiscard]] const AdamOptions& options() const noexcept { return opts_; }
+  [[nodiscard]] std::size_t steps_taken() const noexcept { return t_; }
+
+ private:
+  AdamOptions opts_;
+  std::vector<float> m_, v_;  // first/second moment estimates
+  std::size_t t_ = 0;
+};
+
+}  // namespace groupfel::nn

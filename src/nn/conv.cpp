@@ -1,0 +1,224 @@
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "nn/layer.hpp"
+
+namespace groupfel::nn {
+
+// ---------------- Conv2d ----------------
+
+Conv2d::Conv2d(std::size_t in_channels, std::size_t out_channels,
+               std::size_t kernel, std::size_t padding)
+    : cin_(in_channels),
+      cout_(out_channels),
+      k_(kernel),
+      pad_(padding),
+      weight_({cout_, cin_, k_, k_}),
+      bias_({1, cout_}),
+      grad_w_({cout_, cin_, k_, k_}),
+      grad_b_({1, cout_}) {}
+
+void Conv2d::init(runtime::Rng& rng) {
+  const float fan_in = static_cast<float>(cin_ * k_ * k_);
+  const float scale = std::sqrt(2.0f / fan_in);
+  for (auto& w : weight_.data()) w = static_cast<float>(rng.normal()) * scale;
+  bias_.zero();
+}
+
+Tensor Conv2d::forward(const Tensor& input, bool train) {
+  if (input.rank() != 4 || input.dim(1) != cin_)
+    throw std::invalid_argument("Conv2d::forward: bad input " +
+                                input.shape_string());
+  const std::size_t n = input.dim(0), h = input.dim(2), w = input.dim(3);
+  if (h + 2 * pad_ < k_ || w + 2 * pad_ < k_)
+    throw std::invalid_argument("Conv2d::forward: kernel larger than input");
+  const std::size_t ho = h + 2 * pad_ - k_ + 1;
+  const std::size_t wo = w + 2 * pad_ - k_ + 1;
+  Tensor out({n, cout_, ho, wo});
+
+  for (std::size_t ni = 0; ni < n; ++ni) {
+    for (std::size_t co = 0; co < cout_; ++co) {
+      const float b = bias_[co];
+      for (std::size_t oy = 0; oy < ho; ++oy) {
+        for (std::size_t ox = 0; ox < wo; ++ox) {
+          float acc = b;
+          for (std::size_t ci = 0; ci < cin_; ++ci) {
+            for (std::size_t ky = 0; ky < k_; ++ky) {
+              const std::ptrdiff_t iy =
+                  static_cast<std::ptrdiff_t>(oy + ky) -
+                  static_cast<std::ptrdiff_t>(pad_);
+              if (iy < 0 || iy >= static_cast<std::ptrdiff_t>(h)) continue;
+              for (std::size_t kx = 0; kx < k_; ++kx) {
+                const std::ptrdiff_t ix =
+                    static_cast<std::ptrdiff_t>(ox + kx) -
+                    static_cast<std::ptrdiff_t>(pad_);
+                if (ix < 0 || ix >= static_cast<std::ptrdiff_t>(w)) continue;
+                acc += input.at4(ni, ci, static_cast<std::size_t>(iy),
+                                 static_cast<std::size_t>(ix)) *
+                       weight_.at4(co, ci, ky, kx);
+              }
+            }
+          }
+          out.at4(ni, co, oy, ox) = acc;
+        }
+      }
+    }
+  }
+  if (train) cached_input_ = input;
+  return out;
+}
+
+Tensor Conv2d::backward(const Tensor& grad_out) {
+  if (cached_input_.size() == 0)
+    throw std::logic_error("Conv2d::backward without forward(train=true)");
+  const Tensor& x = cached_input_;
+  const std::size_t n = x.dim(0), h = x.dim(2), w = x.dim(3);
+  const std::size_t ho = grad_out.dim(2), wo = grad_out.dim(3);
+  Tensor grad_in({n, cin_, h, w});
+
+  for (std::size_t ni = 0; ni < n; ++ni) {
+    for (std::size_t co = 0; co < cout_; ++co) {
+      for (std::size_t oy = 0; oy < ho; ++oy) {
+        for (std::size_t ox = 0; ox < wo; ++ox) {
+          const float g = grad_out.at4(ni, co, oy, ox);
+          if (g == 0.0f) continue;
+          grad_b_[co] += g;
+          for (std::size_t ci = 0; ci < cin_; ++ci) {
+            for (std::size_t ky = 0; ky < k_; ++ky) {
+              const std::ptrdiff_t iy =
+                  static_cast<std::ptrdiff_t>(oy + ky) -
+                  static_cast<std::ptrdiff_t>(pad_);
+              if (iy < 0 || iy >= static_cast<std::ptrdiff_t>(h)) continue;
+              for (std::size_t kx = 0; kx < k_; ++kx) {
+                const std::ptrdiff_t ix =
+                    static_cast<std::ptrdiff_t>(ox + kx) -
+                    static_cast<std::ptrdiff_t>(pad_);
+                if (ix < 0 || ix >= static_cast<std::ptrdiff_t>(w)) continue;
+                const auto iyu = static_cast<std::size_t>(iy);
+                const auto ixu = static_cast<std::size_t>(ix);
+                grad_w_.at4(co, ci, ky, kx) += g * x.at4(ni, ci, iyu, ixu);
+                grad_in.at4(ni, ci, iyu, ixu) += g * weight_.at4(co, ci, ky, kx);
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return grad_in;
+}
+
+void Conv2d::for_each_param(
+    const std::function<void(Tensor&, Tensor&)>& fn) {
+  fn(weight_, grad_w_);
+  fn(bias_, grad_b_);
+}
+
+std::size_t Conv2d::param_count() const {
+  return weight_.size() + bias_.size();
+}
+
+std::unique_ptr<Layer> Conv2d::clone() const {
+  auto copy = std::make_unique<Conv2d>(cin_, cout_, k_, pad_);
+  copy->weight_ = weight_;
+  copy->bias_ = bias_;
+  return copy;
+}
+
+// ---------------- MaxPool2d ----------------
+
+MaxPool2d::MaxPool2d(std::size_t window) : window_(window) {
+  if (window_ == 0) throw std::invalid_argument("MaxPool2d: window == 0");
+}
+
+Tensor MaxPool2d::forward(const Tensor& input, bool train) {
+  if (input.rank() != 4)
+    throw std::invalid_argument("MaxPool2d: expected 4-D input");
+  const std::size_t n = input.dim(0), c = input.dim(1), h = input.dim(2),
+                    w = input.dim(3);
+  const std::size_t ho = h / window_, wo = w / window_;
+  if (ho == 0 || wo == 0)
+    throw std::invalid_argument("MaxPool2d: window larger than input");
+  Tensor out({n, c, ho, wo});
+  if (train) {
+    argmax_.assign(out.size(), 0);
+    cached_shape_ = input.shape();
+  }
+  std::size_t oi = 0;
+  for (std::size_t ni = 0; ni < n; ++ni)
+    for (std::size_t ci = 0; ci < c; ++ci)
+      for (std::size_t oy = 0; oy < ho; ++oy)
+        for (std::size_t ox = 0; ox < wo; ++ox, ++oi) {
+          float best = -std::numeric_limits<float>::infinity();
+          std::size_t best_idx = 0;
+          for (std::size_t ky = 0; ky < window_; ++ky)
+            for (std::size_t kx = 0; kx < window_; ++kx) {
+              const std::size_t iy = oy * window_ + ky;
+              const std::size_t ix = ox * window_ + kx;
+              const std::size_t flat = ((ni * c + ci) * h + iy) * w + ix;
+              const float v = input[flat];
+              if (v > best) {
+                best = v;
+                best_idx = flat;
+              }
+            }
+          out[oi] = best;
+          if (train) argmax_[oi] = best_idx;
+        }
+  return out;
+}
+
+Tensor MaxPool2d::backward(const Tensor& grad_out) {
+  if (argmax_.size() != grad_out.size())
+    throw std::logic_error("MaxPool2d::backward without forward(train=true)");
+  Tensor grad_in(cached_shape_);
+  for (std::size_t i = 0; i < grad_out.size(); ++i)
+    grad_in[argmax_[i]] += grad_out[i];
+  return grad_in;
+}
+
+std::unique_ptr<Layer> MaxPool2d::clone() const {
+  return std::make_unique<MaxPool2d>(window_);
+}
+
+// ---------------- GlobalAvgPool ----------------
+
+Tensor GlobalAvgPool::forward(const Tensor& input, bool train) {
+  if (input.rank() != 4)
+    throw std::invalid_argument("GlobalAvgPool: expected 4-D input");
+  const std::size_t n = input.dim(0), c = input.dim(1),
+                    hw = input.dim(2) * input.dim(3);
+  Tensor out({n, c});
+  for (std::size_t ni = 0; ni < n; ++ni)
+    for (std::size_t ci = 0; ci < c; ++ci) {
+      double acc = 0.0;
+      const float* base = input.raw() + (ni * c + ci) * hw;
+      for (std::size_t i = 0; i < hw; ++i) acc += static_cast<double>(base[i]);
+      out.at2(ni, ci) = static_cast<float>(acc / static_cast<double>(hw));
+    }
+  if (train) cached_shape_ = input.shape();
+  return out;
+}
+
+Tensor GlobalAvgPool::backward(const Tensor& grad_out) {
+  if (cached_shape_.empty())
+    throw std::logic_error("GlobalAvgPool::backward without forward");
+  const std::size_t n = cached_shape_[0], c = cached_shape_[1],
+                    hw = cached_shape_[2] * cached_shape_[3];
+  Tensor grad_in(cached_shape_);
+  const float inv = 1.0f / static_cast<float>(hw);
+  for (std::size_t ni = 0; ni < n; ++ni)
+    for (std::size_t ci = 0; ci < c; ++ci) {
+      const float g = grad_out.at2(ni, ci) * inv;
+      float* base = grad_in.raw() + (ni * c + ci) * hw;
+      for (std::size_t i = 0; i < hw; ++i) base[i] = g;
+    }
+  return grad_in;
+}
+
+std::unique_ptr<Layer> GlobalAvgPool::clone() const {
+  return std::make_unique<GlobalAvgPool>();
+}
+
+}  // namespace groupfel::nn

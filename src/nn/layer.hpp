@@ -1,0 +1,154 @@
+// Layer interface for the from-scratch NN library.
+//
+// Each layer owns its parameters and their gradients and implements manual
+// reverse-mode differentiation: forward() caches whatever backward() needs.
+// A layer instance therefore serves exactly one model replica; federated
+// clients clone the model instead of sharing layers.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "nn/tensor.hpp"
+#include "runtime/rng.hpp"
+
+namespace groupfel::nn {
+
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  /// Computes the layer output. `train` enables training-only behaviour
+  /// (activation caching for backward).
+  virtual Tensor forward(const Tensor& input, bool train) = 0;
+
+  /// Given dL/d(output), accumulates parameter gradients and returns
+  /// dL/d(input). Must be called after a forward(train=true).
+  virtual Tensor backward(const Tensor& grad_out) = 0;
+
+  /// Visits every (parameter, gradient) tensor pair. Parameter-free layers
+  /// keep the default no-op.
+  virtual void for_each_param(
+      const std::function<void(Tensor& param, Tensor& grad)>& fn) {
+    (void)fn;
+  }
+
+  /// Total number of scalar parameters.
+  [[nodiscard]] virtual std::size_t param_count() const { return 0; }
+
+  /// Deep copy with identical parameters and fresh (empty) activation cache.
+  [[nodiscard]] virtual std::unique_ptr<Layer> clone() const = 0;
+
+  /// Re-randomizes parameters (He initialization where applicable).
+  virtual void init(runtime::Rng& rng) { (void)rng; }
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+// ---- Dense layers (layers.cpp) ----
+
+/// Fully connected y = xW + b; input [N, in], output [N, out].
+class Linear final : public Layer {
+ public:
+  Linear(std::size_t in_features, std::size_t out_features);
+
+  Tensor forward(const Tensor& input, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  void for_each_param(
+      const std::function<void(Tensor&, Tensor&)>& fn) override;
+  [[nodiscard]] std::size_t param_count() const override;
+  [[nodiscard]] std::unique_ptr<Layer> clone() const override;
+  void init(runtime::Rng& rng) override;
+  [[nodiscard]] std::string name() const override { return "Linear"; }
+
+  [[nodiscard]] std::size_t in_features() const noexcept { return in_; }
+  [[nodiscard]] std::size_t out_features() const noexcept { return out_; }
+
+ private:
+  std::size_t in_, out_;
+  Tensor weight_;   // [in, out]
+  Tensor bias_;     // [1, out]
+  Tensor grad_w_, grad_b_;
+  Tensor cached_input_;
+};
+
+/// Elementwise max(x, 0).
+class ReLU final : public Layer {
+ public:
+  Tensor forward(const Tensor& input, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  [[nodiscard]] std::unique_ptr<Layer> clone() const override;
+  [[nodiscard]] std::string name() const override { return "ReLU"; }
+
+ private:
+  Tensor cached_input_;
+};
+
+/// Collapses [N, C, H, W] (or any rank >= 2) to [N, rest].
+class Flatten final : public Layer {
+ public:
+  Tensor forward(const Tensor& input, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  [[nodiscard]] std::unique_ptr<Layer> clone() const override;
+  [[nodiscard]] std::string name() const override { return "Flatten"; }
+
+ private:
+  std::vector<std::size_t> cached_shape_;
+};
+
+// ---- Convolutional layers (conv.cpp) ----
+
+/// 2-D convolution with square kernel, stride 1, symmetric zero padding.
+/// Input [N, Cin, H, W] -> output [N, Cout, H', W'].
+class Conv2d final : public Layer {
+ public:
+  Conv2d(std::size_t in_channels, std::size_t out_channels,
+         std::size_t kernel, std::size_t padding);
+
+  Tensor forward(const Tensor& input, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  void for_each_param(
+      const std::function<void(Tensor&, Tensor&)>& fn) override;
+  [[nodiscard]] std::size_t param_count() const override;
+  [[nodiscard]] std::unique_ptr<Layer> clone() const override;
+  void init(runtime::Rng& rng) override;
+  [[nodiscard]] std::string name() const override { return "Conv2d"; }
+
+ private:
+  std::size_t cin_, cout_, k_, pad_;
+  Tensor weight_;  // [Cout, Cin, k, k]
+  Tensor bias_;    // [1, Cout]
+  Tensor grad_w_, grad_b_;
+  Tensor cached_input_;
+};
+
+/// Non-overlapping max pooling with square window.
+class MaxPool2d final : public Layer {
+ public:
+  explicit MaxPool2d(std::size_t window);
+
+  Tensor forward(const Tensor& input, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  [[nodiscard]] std::unique_ptr<Layer> clone() const override;
+  [[nodiscard]] std::string name() const override { return "MaxPool2d"; }
+
+ private:
+  std::size_t window_;
+  std::vector<std::size_t> argmax_;
+  std::vector<std::size_t> cached_shape_;
+};
+
+/// Global average pooling [N, C, H, W] -> [N, C].
+class GlobalAvgPool final : public Layer {
+ public:
+  Tensor forward(const Tensor& input, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  [[nodiscard]] std::unique_ptr<Layer> clone() const override;
+  [[nodiscard]] std::string name() const override { return "GlobalAvgPool"; }
+
+ private:
+  std::vector<std::size_t> cached_shape_;
+};
+
+}  // namespace groupfel::nn

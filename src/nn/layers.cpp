@@ -1,0 +1,111 @@
+#include <cmath>
+#include <stdexcept>
+
+#include "nn/layer.hpp"
+
+namespace groupfel::nn {
+
+// ---------------- Linear ----------------
+
+Linear::Linear(std::size_t in_features, std::size_t out_features)
+    : in_(in_features),
+      out_(out_features),
+      weight_({in_, out_}),
+      bias_({1, out_}),
+      grad_w_({in_, out_}),
+      grad_b_({1, out_}) {}
+
+void Linear::init(runtime::Rng& rng) {
+  // He initialization: suited to the ReLU networks this library builds.
+  const float scale = std::sqrt(2.0f / static_cast<float>(in_));
+  for (auto& w : weight_.data()) w = static_cast<float>(rng.normal()) * scale;
+  bias_.zero();
+}
+
+Tensor Linear::forward(const Tensor& input, bool train) {
+  if (input.rank() != 2 || input.dim(1) != in_)
+    throw std::invalid_argument("Linear::forward: expected [N, " +
+                                std::to_string(in_) + "], got " +
+                                input.shape_string());
+  const std::size_t n = input.dim(0);
+  Tensor out({n, out_});
+  matmul(input, weight_, out);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < out_; ++j) out.at2(i, j) += bias_[j];
+  if (train) cached_input_ = input;
+  return out;
+}
+
+Tensor Linear::backward(const Tensor& grad_out) {
+  const std::size_t n = grad_out.dim(0);
+  if (cached_input_.size() == 0)
+    throw std::logic_error("Linear::backward without forward(train=true)");
+  // dW += X^T * dY ; db += column sums of dY ; dX = dY * W^T
+  Tensor gw({in_, out_});
+  matmul_at(cached_input_, grad_out, gw);
+  grad_w_ += gw;
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < out_; ++j) grad_b_[j] += grad_out.at2(i, j);
+  Tensor grad_in({n, in_});
+  matmul_bt(grad_out, weight_, grad_in);
+  return grad_in;
+}
+
+void Linear::for_each_param(
+    const std::function<void(Tensor&, Tensor&)>& fn) {
+  fn(weight_, grad_w_);
+  fn(bias_, grad_b_);
+}
+
+std::size_t Linear::param_count() const { return weight_.size() + bias_.size(); }
+
+std::unique_ptr<Layer> Linear::clone() const {
+  auto copy = std::make_unique<Linear>(in_, out_);
+  copy->weight_ = weight_;
+  copy->bias_ = bias_;
+  return copy;
+}
+
+// ---------------- ReLU ----------------
+
+Tensor ReLU::forward(const Tensor& input, bool train) {
+  Tensor out = input;
+  for (auto& v : out.data()) v = v > 0.0f ? v : 0.0f;
+  if (train) cached_input_ = input;
+  return out;
+}
+
+Tensor ReLU::backward(const Tensor& grad_out) {
+  if (cached_input_.size() != grad_out.size())
+    throw std::logic_error("ReLU::backward shape mismatch");
+  Tensor grad_in = grad_out;
+  const auto xs = cached_input_.data();
+  auto gs = grad_in.data();
+  for (std::size_t i = 0; i < gs.size(); ++i)
+    if (xs[i] <= 0.0f) gs[i] = 0.0f;
+  return grad_in;
+}
+
+std::unique_ptr<Layer> ReLU::clone() const { return std::make_unique<ReLU>(); }
+
+// ---------------- Flatten ----------------
+
+Tensor Flatten::forward(const Tensor& input, bool train) {
+  if (input.rank() < 2) throw std::invalid_argument("Flatten: rank < 2");
+  if (train) cached_shape_ = input.shape();
+  Tensor out = input;
+  out.reshape({input.dim(0), input.size() / input.dim(0)});
+  return out;
+}
+
+Tensor Flatten::backward(const Tensor& grad_out) {
+  Tensor grad_in = grad_out;
+  grad_in.reshape(cached_shape_);
+  return grad_in;
+}
+
+std::unique_ptr<Layer> Flatten::clone() const {
+  return std::make_unique<Flatten>();
+}
+
+}  // namespace groupfel::nn

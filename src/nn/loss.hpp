@@ -1,0 +1,27 @@
+// Softmax cross-entropy with integer labels — the classification loss used
+// by every task in the paper (CIFAR-10 and SpeechCommands are both
+// single-label classification).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "nn/tensor.hpp"
+
+namespace groupfel::nn {
+
+struct LossResult {
+  double loss = 0.0;    ///< mean cross-entropy over the batch
+  Tensor grad;          ///< dL/d(logits), already divided by batch size
+  std::size_t correct = 0;  ///< argmax matches label
+};
+
+/// logits: [N, classes]; labels: N entries in [0, classes).
+/// Numerically stable (max-subtracted) log-softmax.
+[[nodiscard]] LossResult softmax_cross_entropy(
+    const Tensor& logits, std::span<const std::int32_t> labels);
+
+/// Softmax probabilities (row-wise), for calibration/inspection.
+[[nodiscard]] Tensor softmax(const Tensor& logits);
+
+}  // namespace groupfel::nn

@@ -1,0 +1,117 @@
+#include "nn/model.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace groupfel::nn {
+
+Model& Model::add(std::unique_ptr<Layer> layer) {
+  layers_.push_back(std::move(layer));
+  return *this;
+}
+
+void Model::init(runtime::Rng& rng) {
+  for (auto& l : layers_) l->init(rng);
+}
+
+Tensor Model::forward(const Tensor& input, bool train) {
+  Tensor x = input;
+  for (auto& l : layers_) x = l->forward(x, train);
+  return x;
+}
+
+void Model::backward(const Tensor& grad_out) {
+  Tensor g = grad_out;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it)
+    g = (*it)->backward(g);
+}
+
+void Model::zero_grad() {
+  for (auto& l : layers_)
+    l->for_each_param([](Tensor&, Tensor& grad) { grad.zero(); });
+}
+
+std::size_t Model::param_count() const {
+  std::size_t n = 0;
+  for (const auto& l : layers_) n += l->param_count();
+  return n;
+}
+
+std::vector<float> Model::flat_parameters() const {
+  std::vector<float> flat;
+  flat.reserve(param_count());
+  for (const auto& l : layers_)
+    const_cast<Layer&>(*l).for_each_param([&](Tensor& p, Tensor&) {
+      flat.insert(flat.end(), p.data().begin(), p.data().end());
+    });
+  return flat;
+}
+
+void Model::set_flat_parameters(std::span<const float> flat) {
+  if (flat.size() != param_count())
+    throw std::invalid_argument("set_flat_parameters: size mismatch");
+  std::size_t off = 0;
+  for (auto& l : layers_)
+    l->for_each_param([&](Tensor& p, Tensor&) {
+      std::copy_n(flat.begin() + static_cast<std::ptrdiff_t>(off), p.size(),
+                  p.data().begin());
+      off += p.size();
+    });
+}
+
+std::vector<float> Model::flat_gradients() const {
+  std::vector<float> flat;
+  flat.reserve(param_count());
+  for (const auto& l : layers_)
+    const_cast<Layer&>(*l).for_each_param([&](Tensor&, Tensor& g) {
+      flat.insert(flat.end(), g.data().begin(), g.data().end());
+    });
+  return flat;
+}
+
+void Model::for_each_param(const std::function<void(Tensor&, Tensor&)>& fn) {
+  for (auto& l : layers_) l->for_each_param(fn);
+}
+
+Model Model::clone() const {
+  Model copy;
+  for (const auto& l : layers_) copy.layers_.push_back(l->clone());
+  return copy;
+}
+
+void axpy(std::vector<float>& out, std::span<const float> v, float scale) {
+  if (out.size() != v.size()) throw std::invalid_argument("axpy: size mismatch");
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] += scale * v[i];
+}
+
+std::vector<float> weighted_average(const std::vector<std::vector<float>>& vs,
+                                    std::span<const double> weights) {
+  if (vs.empty()) throw std::invalid_argument("weighted_average: empty input");
+  if (vs.size() != weights.size())
+    throw std::invalid_argument("weighted_average: weight count mismatch");
+  std::vector<double> acc(vs[0].size(), 0.0);
+  for (std::size_t i = 0; i < vs.size(); ++i) {
+    if (vs[i].size() != acc.size())
+      throw std::invalid_argument("weighted_average: ragged inputs");
+    const double w = weights[i];
+    for (std::size_t j = 0; j < acc.size(); ++j)
+      acc[j] += w * static_cast<double>(vs[i][j]);
+  }
+  std::vector<float> out(acc.size());
+  for (std::size_t j = 0; j < acc.size(); ++j)
+    out[j] = static_cast<float>(acc[j]);
+  return out;
+}
+
+double l2_distance(std::span<const float> a, std::span<const float> b) {
+  if (a.size() != b.size())
+    throw std::invalid_argument("l2_distance: size mismatch");
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = static_cast<double>(a[i]) - static_cast<double>(b[i]);
+    s += d * d;
+  }
+  return std::sqrt(s);
+}
+
+}  // namespace groupfel::nn

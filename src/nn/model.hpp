@@ -1,0 +1,76 @@
+// Sequential model container with the flat-parameter-vector view that the
+// federated-learning layers of this library aggregate over: a model's state
+// is exactly `flat_parameters()`, so group/global aggregation, secure
+// aggregation, FedProx proximal terms, and SCAFFOLD control variates all
+// operate on plain std::vector<float>.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "nn/layer.hpp"
+#include "nn/loss.hpp"
+#include "nn/tensor.hpp"
+
+namespace groupfel::nn {
+
+class Model {
+ public:
+  Model() = default;
+
+  /// Appends a layer; returns *this for chaining.
+  Model& add(std::unique_ptr<Layer> layer);
+
+  /// He-initializes every layer from `rng` (deterministic given the seed).
+  void init(runtime::Rng& rng);
+
+  /// Forward pass through all layers.
+  [[nodiscard]] Tensor forward(const Tensor& input, bool train = false);
+
+  /// Backward pass; call after forward(train=true). Accumulates gradients.
+  void backward(const Tensor& grad_out);
+
+  /// Sets every gradient tensor to zero.
+  void zero_grad();
+
+  /// Total scalar parameter count.
+  [[nodiscard]] std::size_t param_count() const;
+
+  /// Copies all parameters into one flat vector (layer order, tensor order).
+  [[nodiscard]] std::vector<float> flat_parameters() const;
+
+  /// Overwrites all parameters from a flat vector (must match param_count).
+  void set_flat_parameters(std::span<const float> flat);
+
+  /// Copies all accumulated gradients into one flat vector.
+  [[nodiscard]] std::vector<float> flat_gradients() const;
+
+  /// Visits every (param, grad) pair across all layers.
+  void for_each_param(const std::function<void(Tensor&, Tensor&)>& fn);
+
+  /// Deep copy (same parameters, fresh caches).
+  [[nodiscard]] Model clone() const;
+
+  [[nodiscard]] std::size_t layer_count() const noexcept {
+    return layers_.size();
+  }
+  [[nodiscard]] const Layer& layer(std::size_t i) const { return *layers_.at(i); }
+
+ private:
+  std::vector<std::unique_ptr<Layer>> layers_;
+};
+
+// ---- Flat-vector arithmetic used throughout the FL stack ----
+
+/// out += scale * v (sizes must match).
+void axpy(std::vector<float>& out, std::span<const float> v, float scale);
+
+/// Weighted average of parameter vectors: sum_i w[i] * vs[i].
+[[nodiscard]] std::vector<float> weighted_average(
+    const std::vector<std::vector<float>>& vs, std::span<const double> weights);
+
+/// Euclidean distance between two flat vectors.
+[[nodiscard]] double l2_distance(std::span<const float> a,
+                                 std::span<const float> b);
+
+}  // namespace groupfel::nn

@@ -1,0 +1,125 @@
+#include "nn/models.hpp"
+
+#include <stdexcept>
+
+namespace groupfel::nn {
+
+// ---------------- ResidualBlock ----------------
+
+ResidualBlock::ResidualBlock(std::size_t in_channels,
+                             std::size_t out_channels) {
+  conv1_ = std::make_unique<Conv2d>(in_channels, out_channels, 3, 1);
+  conv2_ = std::make_unique<Conv2d>(out_channels, out_channels, 3, 1);
+  if (in_channels != out_channels)
+    proj_ = std::make_unique<Conv2d>(in_channels, out_channels, 1, 0);
+  relu_mid_ = std::make_unique<ReLU>();
+  relu_out_ = std::make_unique<ReLU>();
+}
+
+void ResidualBlock::init(runtime::Rng& rng) {
+  conv1_->init(rng);
+  conv2_->init(rng);
+  if (proj_) proj_->init(rng);
+}
+
+Tensor ResidualBlock::forward(const Tensor& input, bool train) {
+  Tensor skip = proj_ ? proj_->forward(input, train) : input;
+  Tensor h = conv1_->forward(input, train);
+  h = relu_mid_->forward(h, train);
+  h = conv2_->forward(h, train);
+  h += skip;
+  if (train) {
+    cached_skip_ = skip;
+    cached_preact_ = h;
+  }
+  return relu_out_->forward(h, train);
+}
+
+Tensor ResidualBlock::backward(const Tensor& grad_out) {
+  Tensor g = relu_out_->backward(grad_out);
+  // g flows both into the conv path and the skip path.
+  Tensor g_conv = conv2_->backward(g);
+  g_conv = relu_mid_->backward(g_conv);
+  Tensor grad_in = conv1_->backward(g_conv);
+  if (proj_) {
+    grad_in += proj_->backward(g);
+  } else {
+    grad_in += g;
+  }
+  return grad_in;
+}
+
+void ResidualBlock::for_each_param(
+    const std::function<void(Tensor&, Tensor&)>& fn) {
+  conv1_->for_each_param(fn);
+  conv2_->for_each_param(fn);
+  if (proj_) proj_->for_each_param(fn);
+}
+
+std::size_t ResidualBlock::param_count() const {
+  return conv1_->param_count() + conv2_->param_count() +
+         (proj_ ? proj_->param_count() : 0);
+}
+
+std::unique_ptr<Layer> ResidualBlock::clone() const {
+  auto copy = std::unique_ptr<ResidualBlock>(new ResidualBlock());
+  copy->conv1_.reset(static_cast<Conv2d*>(conv1_->clone().release()));
+  copy->conv2_.reset(static_cast<Conv2d*>(conv2_->clone().release()));
+  if (proj_) copy->proj_.reset(static_cast<Conv2d*>(proj_->clone().release()));
+  copy->relu_mid_ = std::make_unique<ReLU>();
+  copy->relu_out_ = std::make_unique<ReLU>();
+  return copy;
+}
+
+// ---------------- Factories ----------------
+
+Model make_resnet3(std::size_t in_channels, std::size_t side,
+                   std::size_t num_classes, std::size_t base_width) {
+  if (side < 4) throw std::invalid_argument("make_resnet3: side too small");
+  Model m;
+  m.add(std::make_unique<Conv2d>(in_channels, base_width, 3, 1))
+      .add(std::make_unique<ReLU>())
+      .add(std::make_unique<ResidualBlock>(base_width, base_width))
+      .add(std::make_unique<MaxPool2d>(2))
+      .add(std::make_unique<ResidualBlock>(base_width, base_width * 2))
+      .add(std::make_unique<MaxPool2d>(2))
+      .add(std::make_unique<ResidualBlock>(base_width * 2, base_width * 4))
+      .add(std::make_unique<GlobalAvgPool>())
+      .add(std::make_unique<Linear>(base_width * 4, num_classes));
+  return m;
+}
+
+Model make_cnn5(std::size_t in_channels, std::size_t height, std::size_t width,
+                std::size_t num_classes) {
+  // 3 conv layers + 2 dense = 5 learnable layers, sized for RPi-class tasks.
+  const std::size_t c1 = 8, c2 = 16, c3 = 32;
+  Model m;
+  m.add(std::make_unique<Conv2d>(in_channels, c1, 3, 1))
+      .add(std::make_unique<ReLU>())
+      .add(std::make_unique<MaxPool2d>(2))
+      .add(std::make_unique<Conv2d>(c1, c2, 3, 1))
+      .add(std::make_unique<ReLU>())
+      .add(std::make_unique<MaxPool2d>(2))
+      .add(std::make_unique<Conv2d>(c2, c3, 3, 1))
+      .add(std::make_unique<ReLU>())
+      .add(std::make_unique<GlobalAvgPool>());
+  (void)height;
+  (void)width;
+  m.add(std::make_unique<Linear>(c3, 64))
+      .add(std::make_unique<ReLU>())
+      .add(std::make_unique<Linear>(64, num_classes));
+  return m;
+}
+
+Model make_mlp(std::size_t in_features, std::size_t hidden,
+               std::size_t num_classes) {
+  Model m;
+  m.add(std::make_unique<Linear>(in_features, hidden))
+      .add(std::make_unique<ReLU>())
+      .add(std::make_unique<Linear>(hidden, hidden))
+      .add(std::make_unique<ReLU>())
+      .add(std::make_unique<Linear>(hidden, num_classes));
+  return m;
+}
+
+}  // namespace groupfel::nn

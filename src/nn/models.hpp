@@ -1,0 +1,49 @@
+// Model architectures from the paper's evaluation (§7.1) plus a fast MLP
+// surrogate used by the benchmark harness:
+//  - make_resnet3: "3-block ResNet" analogue for the CIFAR-10 task.
+//  - make_cnn5:    "5-layer CNN" for the SpeechCommands task.
+//  - make_mlp:     compact MLP over embedded features — same FL dynamics,
+//                  tractable on one CPU core (see DESIGN.md substitutions).
+#pragma once
+
+#include "nn/model.hpp"
+
+namespace groupfel::nn {
+
+/// Basic residual block: y = ReLU(proj(x) + conv2(ReLU(conv1(x)))).
+/// The 1x1 projection is used when in/out channel counts differ.
+class ResidualBlock final : public Layer {
+ public:
+  ResidualBlock(std::size_t in_channels, std::size_t out_channels);
+
+  Tensor forward(const Tensor& input, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  void for_each_param(
+      const std::function<void(Tensor&, Tensor&)>& fn) override;
+  [[nodiscard]] std::size_t param_count() const override;
+  [[nodiscard]] std::unique_ptr<Layer> clone() const override;
+  void init(runtime::Rng& rng) override;
+  [[nodiscard]] std::string name() const override { return "ResidualBlock"; }
+
+ private:
+  ResidualBlock() = default;  // for clone()
+  std::unique_ptr<Conv2d> conv1_, conv2_, proj_;  // proj_ may be null
+  std::unique_ptr<ReLU> relu_mid_, relu_out_;
+  Tensor cached_skip_;     // projected (or raw) skip-path activation
+  Tensor cached_preact_;   // sum before the final ReLU
+};
+
+/// 3-residual-block ResNet for [N, channels, side, side] inputs.
+[[nodiscard]] Model make_resnet3(std::size_t in_channels, std::size_t side,
+                                 std::size_t num_classes,
+                                 std::size_t base_width = 8);
+
+/// 5-layer CNN (3 conv + 2 dense) for lightweight audio-style inputs.
+[[nodiscard]] Model make_cnn5(std::size_t in_channels, std::size_t height,
+                              std::size_t width, std::size_t num_classes);
+
+/// 2-hidden-layer MLP for [N, features] inputs.
+[[nodiscard]] Model make_mlp(std::size_t in_features, std::size_t hidden,
+                             std::size_t num_classes);
+
+}  // namespace groupfel::nn

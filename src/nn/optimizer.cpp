@@ -1,0 +1,33 @@
+#include "nn/optimizer.hpp"
+
+namespace groupfel::nn {
+
+void SgdOptimizer::step(Model& model, const GradAdjust& adjust) {
+  const std::size_t total = model.param_count();
+  if (opts_.momentum != 0.0f && velocity_.size() != total)
+    velocity_.assign(total, 0.0f);
+
+  std::size_t offset = 0;
+  model.for_each_param([&](Tensor& p, Tensor& g) {
+    auto param = p.data();
+    auto grad = g.data();
+    if (opts_.weight_decay != 0.0f)
+      for (std::size_t i = 0; i < grad.size(); ++i)
+        grad[i] += opts_.weight_decay * param[i];
+    if (adjust) adjust(offset, param, grad);
+
+    if (opts_.momentum != 0.0f) {
+      for (std::size_t i = 0; i < grad.size(); ++i) {
+        float& v = velocity_[offset + i];
+        v = opts_.momentum * v + grad[i];
+        param[i] -= opts_.lr * v;
+      }
+    } else {
+      for (std::size_t i = 0; i < grad.size(); ++i)
+        param[i] -= opts_.lr * grad[i];
+    }
+    offset += param.size();
+  });
+}
+
+}  // namespace groupfel::nn

@@ -1,0 +1,41 @@
+// SGD optimizer (optionally with momentum and weight decay) plus the
+// gradient-adjustment hook that FedProx and SCAFFOLD use to modify the
+// descent direction without re-implementing the training loop.
+#pragma once
+
+#include <functional>
+#include <span>
+
+#include "nn/model.hpp"
+
+namespace groupfel::nn {
+
+struct SgdOptions {
+  float lr = 0.05f;
+  float momentum = 0.0f;
+  float weight_decay = 0.0f;
+};
+
+class SgdOptimizer {
+ public:
+  /// `adjust(flat_offset, param, grad_inout)` is called per parameter tensor
+  /// before the update; FedProx adds mu*(x - x_global), SCAFFOLD adds
+  /// (c - c_i). Pass nullptr for plain SGD.
+  using GradAdjust = std::function<void(std::size_t flat_offset,
+                                        std::span<const float> param,
+                                        std::span<float> grad)>;
+
+  explicit SgdOptimizer(SgdOptions opts) : opts_(opts) {}
+
+  /// Applies one SGD step to `model` using its accumulated gradients.
+  void step(Model& model, const GradAdjust& adjust = nullptr);
+
+  [[nodiscard]] const SgdOptions& options() const noexcept { return opts_; }
+  void set_lr(float lr) noexcept { opts_.lr = lr; }
+
+ private:
+  SgdOptions opts_;
+  std::vector<float> velocity_;  // lazily sized to the model's param count
+};
+
+}  // namespace groupfel::nn

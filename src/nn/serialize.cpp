@@ -1,0 +1,58 @@
+#include "nn/serialize.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+namespace groupfel::nn {
+
+std::uint64_t fnv1a(std::span<const std::byte> bytes) {
+  std::uint64_t hash = 0xcbf29ce484222325ull;
+  for (std::byte b : bytes) {
+    hash ^= static_cast<std::uint64_t>(b);
+    hash *= 0x100000001b3ull;
+  }
+  return hash;
+}
+
+void save_checkpoint(const std::string& path, std::span<const float> params) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("save_checkpoint: cannot open " + path);
+
+  const std::uint64_t magic = kCheckpointMagic;
+  const std::uint64_t count = params.size();
+  const auto* raw = reinterpret_cast<const std::byte*>(params.data());
+  const std::uint64_t crc = fnv1a({raw, params.size_bytes()});
+
+  out.write(reinterpret_cast<const char*>(&magic), sizeof(magic));
+  out.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  out.write(reinterpret_cast<const char*>(&crc), sizeof(crc));
+  out.write(reinterpret_cast<const char*>(params.data()),
+            static_cast<std::streamsize>(params.size_bytes()));
+  if (!out) throw std::runtime_error("save_checkpoint: write failed");
+}
+
+std::vector<float> load_checkpoint(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("load_checkpoint: cannot open " + path);
+
+  std::uint64_t magic = 0, count = 0, crc = 0;
+  in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  in.read(reinterpret_cast<char*>(&count), sizeof(count));
+  in.read(reinterpret_cast<char*>(&crc), sizeof(crc));
+  if (!in || magic != kCheckpointMagic)
+    throw std::runtime_error("load_checkpoint: bad header in " + path);
+
+  std::vector<float> params(count);
+  in.read(reinterpret_cast<char*>(params.data()),
+          static_cast<std::streamsize>(count * sizeof(float)));
+  if (!in || in.gcount() != static_cast<std::streamsize>(count * sizeof(float)))
+    throw std::runtime_error("load_checkpoint: truncated " + path);
+
+  const auto* raw = reinterpret_cast<const std::byte*>(params.data());
+  if (fnv1a({raw, count * sizeof(float)}) != crc)
+    throw std::runtime_error("load_checkpoint: checksum mismatch in " + path);
+  return params;
+}
+
+}  // namespace groupfel::nn

@@ -1,0 +1,31 @@
+// Model checkpointing: a small self-describing binary format for flat
+// parameter vectors, so trained global models survive across processes
+// (examples save, downstream tools load).
+//
+// Layout (little-endian):
+//   magic   u64   0x4746454C'43505431 ("GFEL" "CPT1")
+//   count   u64   number of float32 parameters
+//   crc     u64   FNV-1a over the raw parameter bytes
+//   data    f32[count]
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace groupfel::nn {
+
+inline constexpr std::uint64_t kCheckpointMagic = 0x4746454C43505431ull;
+
+/// Writes `params` to `path`; throws std::runtime_error on I/O failure.
+void save_checkpoint(const std::string& path, std::span<const float> params);
+
+/// Reads a checkpoint; throws std::runtime_error on I/O failure, bad magic,
+/// truncation, or checksum mismatch.
+[[nodiscard]] std::vector<float> load_checkpoint(const std::string& path);
+
+/// FNV-1a over arbitrary bytes (exposed for tests).
+[[nodiscard]] std::uint64_t fnv1a(std::span<const std::byte> bytes);
+
+}  // namespace groupfel::nn

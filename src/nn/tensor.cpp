@@ -1,0 +1,130 @@
+#include "nn/tensor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace groupfel::nn {
+
+std::size_t shape_size(std::span<const std::size_t> shape) noexcept {
+  std::size_t n = 1;
+  for (auto d : shape) n *= d;
+  return n;
+}
+
+Tensor::Tensor(std::vector<std::size_t> shape)
+    : shape_(std::move(shape)), data_(shape_size(shape_), 0.0f) {}
+
+Tensor::Tensor(std::vector<std::size_t> shape, std::vector<float> data)
+    : shape_(std::move(shape)), data_(std::move(data)) {
+  if (data_.size() != shape_size(shape_))
+    throw std::invalid_argument("Tensor: data size does not match shape");
+}
+
+void Tensor::fill(float v) noexcept { std::fill(data_.begin(), data_.end(), v); }
+
+void Tensor::reshape(std::vector<std::size_t> new_shape) {
+  if (shape_size(new_shape) != data_.size())
+    throw std::invalid_argument("Tensor::reshape: size mismatch");
+  shape_ = std::move(new_shape);
+}
+
+Tensor& Tensor::operator+=(const Tensor& other) {
+  if (other.size() != size())
+    throw std::invalid_argument("Tensor::+=: size mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+Tensor& Tensor::operator-=(const Tensor& other) {
+  if (other.size() != size())
+    throw std::invalid_argument("Tensor::-=: size mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  return *this;
+}
+
+Tensor& Tensor::operator*=(float scalar) noexcept {
+  for (auto& v : data_) v *= scalar;
+  return *this;
+}
+
+double Tensor::sum() const noexcept {
+  return std::accumulate(data_.begin(), data_.end(), 0.0);
+}
+
+double Tensor::l2_norm() const noexcept {
+  double s = 0.0;
+  for (float v : data_) s += static_cast<double>(v) * static_cast<double>(v);
+  return std::sqrt(s);
+}
+
+std::string Tensor::shape_string() const {
+  std::string s = "[";
+  for (std::size_t i = 0; i < shape_.size(); ++i) {
+    if (i) s += ", ";
+    s += std::to_string(shape_[i]);
+  }
+  return s + "]";
+}
+
+void matmul(const Tensor& a, const Tensor& b, Tensor& out) {
+  const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  if (b.dim(0) != k || out.dim(0) != m || out.dim(1) != n)
+    throw std::invalid_argument("matmul: shape mismatch");
+  out.zero();
+  const float* pa = a.raw();
+  const float* pb = b.raw();
+  float* po = out.raw();
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      const float aik = pa[i * k + kk];
+      if (aik == 0.0f) continue;
+      const float* brow = pb + kk * n;
+      float* orow = po + i * n;
+      for (std::size_t j = 0; j < n; ++j) orow[j] += aik * brow[j];
+    }
+  }
+}
+
+void matmul_bt(const Tensor& a, const Tensor& b, Tensor& out) {
+  // out[m, n] = a[m, k] * b[n, k]^T
+  const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(0);
+  if (b.dim(1) != k || out.dim(0) != m || out.dim(1) != n)
+    throw std::invalid_argument("matmul_bt: shape mismatch");
+  const float* pa = a.raw();
+  const float* pb = b.raw();
+  float* po = out.raw();
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      const float* arow = pa + i * k;
+      const float* brow = pb + j * k;
+      float acc = 0.0f;
+      for (std::size_t kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
+      po[i * n + j] = acc;
+    }
+  }
+}
+
+void matmul_at(const Tensor& a, const Tensor& b, Tensor& out) {
+  // out[k, n] = a[m, k]^T * b[m, n]
+  const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  if (b.dim(0) != m || out.dim(0) != k || out.dim(1) != n)
+    throw std::invalid_argument("matmul_at: shape mismatch");
+  out.zero();
+  const float* pa = a.raw();
+  const float* pb = b.raw();
+  float* po = out.raw();
+  for (std::size_t i = 0; i < m; ++i) {
+    const float* arow = pa + i * k;
+    const float* brow = pb + i * n;
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      const float av = arow[kk];
+      if (av == 0.0f) continue;
+      float* orow = po + kk * n;
+      for (std::size_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+    }
+  }
+}
+
+}  // namespace groupfel::nn

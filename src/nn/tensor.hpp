@@ -1,0 +1,89 @@
+// Dense row-major float tensor — the numeric core of the from-scratch NN
+// library (no external ML dependency is available or used).
+//
+// Shapes follow the usual conventions: activations are [N, features] for
+// dense layers and [N, C, H, W] for convolutional layers.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace groupfel::nn {
+
+class Tensor {
+ public:
+  Tensor() = default;
+
+  /// Zero-initialized tensor of the given shape.
+  explicit Tensor(std::vector<std::size_t> shape);
+
+  /// Tensor wrapping existing data (copied); data.size() must match shape.
+  Tensor(std::vector<std::size_t> shape, std::vector<float> data);
+
+  [[nodiscard]] const std::vector<std::size_t>& shape() const noexcept {
+    return shape_;
+  }
+  [[nodiscard]] std::size_t rank() const noexcept { return shape_.size(); }
+  [[nodiscard]] std::size_t size() const noexcept { return data_.size(); }
+  [[nodiscard]] std::size_t dim(std::size_t i) const { return shape_.at(i); }
+
+  [[nodiscard]] std::span<float> data() noexcept { return data_; }
+  [[nodiscard]] std::span<const float> data() const noexcept { return data_; }
+  [[nodiscard]] float* raw() noexcept { return data_.data(); }
+  [[nodiscard]] const float* raw() const noexcept { return data_.data(); }
+
+  float& operator[](std::size_t i) { return data_[i]; }
+  float operator[](std::size_t i) const { return data_[i]; }
+
+  /// 2-D indexed access (dense activations / weight matrices).
+  float& at2(std::size_t r, std::size_t c) { return data_[r * shape_[1] + c]; }
+  [[nodiscard]] float at2(std::size_t r, std::size_t c) const {
+    return data_[r * shape_[1] + c];
+  }
+
+  /// 4-D indexed access (conv activations [N, C, H, W]).
+  float& at4(std::size_t n, std::size_t c, std::size_t h, std::size_t w) {
+    return data_[((n * shape_[1] + c) * shape_[2] + h) * shape_[3] + w];
+  }
+  [[nodiscard]] float at4(std::size_t n, std::size_t c, std::size_t h,
+                          std::size_t w) const {
+    return data_[((n * shape_[1] + c) * shape_[2] + h) * shape_[3] + w];
+  }
+
+  void fill(float v) noexcept;
+  void zero() noexcept { fill(0.0f); }
+
+  /// Reinterprets the buffer with a new shape of identical total size.
+  void reshape(std::vector<std::size_t> new_shape);
+
+  /// Elementwise helpers (throw on shape mismatch).
+  Tensor& operator+=(const Tensor& other);
+  Tensor& operator-=(const Tensor& other);
+  Tensor& operator*=(float scalar) noexcept;
+
+  [[nodiscard]] double sum() const noexcept;
+  [[nodiscard]] double l2_norm() const noexcept;
+
+  [[nodiscard]] std::string shape_string() const;
+
+ private:
+  std::vector<std::size_t> shape_;
+  std::vector<float> data_;
+};
+
+/// Product of dimensions.
+[[nodiscard]] std::size_t shape_size(std::span<const std::size_t> shape) noexcept;
+
+/// C = A(,m×k) · B(k×n) into a [m, n] tensor; plain triple loop with the
+/// k-inner layout that vectorizes well under -O2.
+void matmul(const Tensor& a, const Tensor& b, Tensor& out);
+
+/// C = A(m×k) · Bᵀ where B is (n×k); used by dense backward.
+void matmul_bt(const Tensor& a, const Tensor& b, Tensor& out);
+
+/// C = Aᵀ(k×m becomes m rows) · B; used for weight gradients.
+void matmul_at(const Tensor& a, const Tensor& b, Tensor& out);
+
+}  // namespace groupfel::nn

@@ -1,0 +1,119 @@
+#include "runtime/thread_pool.hpp"
+
+#include <atomic>
+#include <exception>
+#include <memory>
+
+namespace groupfel::runtime {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mu_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (stopping_) return;
+        continue;
+      }
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+namespace {
+/// Shared state of one parallel_for call. Held by shared_ptr from every
+/// enqueued runner so that tasks which start AFTER the loop already
+/// completed (or after the caller rethrew) find only a harmless no-op —
+/// never a dangling stack frame. This also makes nested parallel_for safe:
+/// the caller always finishes the loop itself, so it never blocks on a
+/// queued runner that cannot be scheduled.
+struct LoopState {
+  std::function<void(std::size_t)> body;
+  std::size_t n = 0;
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> done{0};
+  std::exception_ptr first_error;
+  std::mutex error_mu;
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+
+  void run() {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      try {
+        body(i);
+      } catch (...) {
+        std::lock_guard lock(error_mu);
+        if (!first_error) first_error = std::current_exception();
+      }
+      if (done.fetch_add(1, std::memory_order_acq_rel) + 1 == n) {
+        std::lock_guard lock(done_mu);
+        done_cv.notify_all();
+      }
+    }
+  }
+};
+}  // namespace
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& body) {
+  if (n == 0) return;
+  if (workers_.empty() || n == 1) {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+
+  auto state = std::make_shared<LoopState>();
+  state->body = body;  // copy: enqueued runners may outlive this frame
+  state->n = n;
+
+  // One helper task per worker (minus the caller, who participates). A
+  // shared atomic cursor self-balances imbalanced iteration costs.
+  const std::size_t helpers = std::min(workers_.size(), n) - 1;
+  if (helpers > 0) {
+    {
+      std::lock_guard lock(mu_);
+      for (std::size_t t = 0; t < helpers; ++t)
+        queue_.emplace_back([state] { state->run(); });
+    }
+    cv_.notify_all();
+  }
+  state->run();
+
+  {
+    std::unique_lock lock(state->done_mu);
+    state->done_cv.wait(lock, [&] {
+      return state->done.load(std::memory_order_acquire) >= n;
+    });
+  }
+  // Safe to read without the error mutex: every write to first_error
+  // happens-before the final `done` increment we just observed.
+  if (state->first_error) std::rethrow_exception(state->first_error);
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool(std::max(1u, std::thread::hardware_concurrency()));
+  return pool;
+}
+
+}  // namespace groupfel::runtime

@@ -1,0 +1,51 @@
+// Work-stealing-free, queue-based thread pool with a structured
+// `parallel_for` used to simulate the paper's "in parallel" loops over
+// groups (Algorithm 1 line 7) and clients (line 10).
+//
+// Determinism contract: tasks must derive any randomness from their logical
+// index (see runtime/rng.hpp), never from thread identity, so results are
+// identical for any pool size, including size 0 (inline execution).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace groupfel::runtime {
+
+class ThreadPool {
+ public:
+  /// `threads == 0` means run every submitted task inline on the caller.
+  explicit ThreadPool(std::size_t threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of worker threads (0 = inline mode).
+  [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Runs body(i) for i in [0, n); blocks until all iterations finish.
+  /// Exceptions thrown by any iteration are captured and the first one is
+  /// rethrown on the calling thread after the loop drains.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body);
+
+  /// Shared pool sized from hardware_concurrency (min 1 worker).
+  static ThreadPool& global();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+}  // namespace groupfel::runtime

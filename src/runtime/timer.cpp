@@ -1,0 +1,15 @@
+#include "runtime/timer.hpp"
+
+namespace groupfel::runtime {
+
+double time_call(const std::function<void()>& fn, double min_seconds) {
+  Timer total;
+  std::size_t calls = 0;
+  do {
+    fn();
+    ++calls;
+  } while (total.seconds() < min_seconds);
+  return total.seconds() / static_cast<double>(calls);
+}
+
+}  // namespace groupfel::runtime

@@ -1,0 +1,34 @@
+// Monotonic wall-clock timers used by the Fig. 5 / Fig. 8 measurement
+// benches and by cost-model calibration.
+#pragma once
+
+#include <chrono>
+#include <functional>
+
+namespace groupfel::runtime {
+
+/// Simple stopwatch over std::chrono::steady_clock.
+class Timer {
+ public:
+  Timer() noexcept { reset(); }
+
+  void reset() noexcept { start_ = std::chrono::steady_clock::now(); }
+
+  [[nodiscard]] double seconds() const noexcept {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+  [[nodiscard]] double milliseconds() const noexcept { return seconds() * 1e3; }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Runs `fn` repeatedly until at least `min_seconds` of wall time has been
+/// sampled (at least once), returning the mean seconds per call. Used when
+/// calibrating the cost model from very fast operations.
+double time_call(const std::function<void()>& fn, double min_seconds = 0.02);
+
+}  // namespace groupfel::runtime

@@ -1,0 +1,87 @@
+#include "sampling/sampler.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace groupfel::sampling {
+
+std::string to_string(SamplingMethod method) {
+  switch (method) {
+    case SamplingMethod::kRandom: return "Random";
+    case SamplingMethod::kRCov: return "RCoV";
+    case SamplingMethod::kSRCov: return "SRCoV";
+    case SamplingMethod::kESRCov: return "ESRCoV";
+  }
+  return "?";
+}
+
+SamplingMethod sampling_method_from_string(const std::string& name) {
+  if (name == "Random" || name == "random" || name == "RS")
+    return SamplingMethod::kRandom;
+  if (name == "RCoV" || name == "rcov") return SamplingMethod::kRCov;
+  if (name == "SRCoV" || name == "srcov") return SamplingMethod::kSRCov;
+  if (name == "ESRCoV" || name == "esrcov" || name == "CoVS")
+    return SamplingMethod::kESRCov;
+  throw std::invalid_argument("unknown sampling method: " + name);
+}
+
+std::vector<double> sampling_probabilities(SamplingMethod method,
+                                           std::span<const double> group_covs,
+                                           double cov_floor) {
+  if (group_covs.empty())
+    throw std::invalid_argument("sampling_probabilities: no groups");
+  const std::size_t n = group_covs.size();
+  std::vector<double> p(n);
+
+  if (method == SamplingMethod::kRandom) {
+    std::fill(p.begin(), p.end(), 1.0 / static_cast<double>(n));
+    return p;
+  }
+
+  // x_g = 1 / max(CoV, floor); the floor keeps perfectly-IID groups finite.
+  std::vector<double> x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (group_covs[i] < 0.0)
+      throw std::invalid_argument("sampling_probabilities: negative CoV");
+    x[i] = 1.0 / std::max(group_covs[i], cov_floor);
+  }
+
+  double total = 0.0;
+  switch (method) {
+    case SamplingMethod::kRCov:
+      for (std::size_t i = 0; i < n; ++i) total += (p[i] = x[i]);
+      break;
+    case SamplingMethod::kSRCov:
+      for (std::size_t i = 0; i < n; ++i) total += (p[i] = x[i] * x[i]);
+      break;
+    case SamplingMethod::kESRCov: {
+      // Max-shifted exponent: e^{x^2 - max} is exact after normalization
+      // and never overflows.
+      double mx = 0.0;
+      for (std::size_t i = 0; i < n; ++i) mx = std::max(mx, x[i] * x[i]);
+      for (std::size_t i = 0; i < n; ++i)
+        total += (p[i] = std::exp(x[i] * x[i] - mx));
+      break;
+    }
+    case SamplingMethod::kRandom: break;  // handled above
+  }
+  for (auto& v : p) v /= total;
+  return p;
+}
+
+std::vector<std::size_t> sample_groups(std::span<const double> p,
+                                       std::size_t s, runtime::Rng& rng) {
+  if (s > p.size())
+    throw std::invalid_argument("sample_groups: s exceeds group count");
+  std::vector<double> weights(p.begin(), p.end());
+  std::vector<std::size_t> chosen;
+  chosen.reserve(s);
+  for (std::size_t draw = 0; draw < s; ++draw) {
+    const std::size_t idx = rng.categorical(weights);
+    chosen.push_back(idx);
+    weights[idx] = 0.0;  // without replacement
+  }
+  return chosen;
+}
+
+}  // namespace groupfel::sampling

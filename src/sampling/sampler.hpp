@@ -1,0 +1,38 @@
+// Probability-based group sampling at the cloud (§6).
+//
+// The sampling probability of group g is (Eq. 34)
+//     p_g = w(1/CoV(g)) / sum_h w(1/CoV(h))
+// with three non-decreasing weight functions considered by the paper:
+//     RCoV   : w(x) = x
+//     SRCoV  : w(x) = x^2
+//     ESRCoV : w(x) = e^{x^2}   (the paper's default — best performance)
+// plus uniform Random sampling as the baseline.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "runtime/rng.hpp"
+
+namespace groupfel::sampling {
+
+enum class SamplingMethod { kRandom, kRCov, kSRCov, kESRCov };
+
+[[nodiscard]] std::string to_string(SamplingMethod method);
+[[nodiscard]] SamplingMethod sampling_method_from_string(const std::string& name);
+
+/// Computes the probability vector p over groups from their CoV values
+/// (Eq. 34). CoV values are floored at `cov_floor` so 1/CoV stays finite for
+/// perfectly balanced groups; ESRCoV is computed with a max-shifted exponent
+/// so it never overflows. Result sums to 1.
+[[nodiscard]] std::vector<double> sampling_probabilities(
+    SamplingMethod method, std::span<const double> group_covs,
+    double cov_floor = 0.05);
+
+/// Draws `s` distinct group indices with probabilities proportional to `p`
+/// (sequential weighted draws without replacement).
+[[nodiscard]] std::vector<std::size_t> sample_groups(std::span<const double> p,
+                                                     std::size_t s,
+                                                     runtime::Rng& rng);
+
+}  // namespace groupfel::sampling

@@ -1,0 +1,74 @@
+#include "sampling/weights.hpp"
+
+#include <stdexcept>
+
+namespace groupfel::sampling {
+
+std::string to_string(AggregationMode mode) {
+  switch (mode) {
+    case AggregationMode::kBiased: return "biased";
+    case AggregationMode::kUnbiased: return "unbiased";
+    case AggregationMode::kStabilized: return "stabilized";
+  }
+  return "?";
+}
+
+AggregationMode aggregation_mode_from_string(const std::string& name) {
+  if (name == "biased") return AggregationMode::kBiased;
+  if (name == "unbiased") return AggregationMode::kUnbiased;
+  if (name == "stabilized") return AggregationMode::kStabilized;
+  throw std::invalid_argument("unknown aggregation mode: " + name);
+}
+
+std::vector<double> aggregation_weights(AggregationMode mode,
+                                        std::span<const std::size_t> sampled,
+                                        std::span<const double> p,
+                                        std::span<const std::size_t> group_sizes) {
+  if (p.size() != group_sizes.size())
+    throw std::invalid_argument("aggregation_weights: p/size length mismatch");
+  if (sampled.empty())
+    throw std::invalid_argument("aggregation_weights: no sampled groups");
+  const double s = static_cast<double>(sampled.size());
+
+  double n_total = 0.0;  // n: all data across all groups
+  for (auto g : group_sizes) n_total += static_cast<double>(g);
+  double n_t = 0.0;  // n_t: data across the sampled groups this round
+  for (auto g : sampled) n_t += static_cast<double>(group_sizes[g]);
+  if (n_total <= 0.0 || n_t <= 0.0)
+    throw std::invalid_argument("aggregation_weights: empty groups");
+
+  std::vector<double> w(sampled.size());
+  switch (mode) {
+    case AggregationMode::kBiased:
+      for (std::size_t i = 0; i < sampled.size(); ++i)
+        w[i] = static_cast<double>(group_sizes[sampled[i]]) / n_t;
+      break;
+    case AggregationMode::kUnbiased:
+      for (std::size_t i = 0; i < sampled.size(); ++i) {
+        const double pg = p[sampled[i]];
+        if (pg <= 0.0)
+          throw std::invalid_argument(
+              "aggregation_weights: sampled group with p_g == 0");
+        w[i] = (1.0 / (pg * s)) *
+               (static_cast<double>(group_sizes[sampled[i]]) / n_total);
+      }
+      break;
+    case AggregationMode::kStabilized: {
+      double total = 0.0;
+      for (std::size_t i = 0; i < sampled.size(); ++i) {
+        const double pg = p[sampled[i]];
+        if (pg <= 0.0)
+          throw std::invalid_argument(
+              "aggregation_weights: sampled group with p_g == 0");
+        w[i] = (1.0 / (pg * s)) *
+               (static_cast<double>(group_sizes[sampled[i]]) / n_total);
+        total += w[i];
+      }
+      for (auto& v : w) v /= total;
+      break;
+    }
+  }
+  return w;
+}
+
+}  // namespace groupfel::sampling

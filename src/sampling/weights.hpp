@@ -1,0 +1,35 @@
+// Global-aggregation weights (§3.1 and §6.2).
+//
+// Three modes:
+//   Biased     : w_g = n_g / n_t (Algorithm 1 line 15 as written) — biased
+//                toward frequently-sampled groups, which the paper argues is
+//                acceptable (and even desirable) for CoV-prioritized
+//                sampling.
+//   Unbiased   : Eq. (4): w_g = (1 / (p_g S)) * n_g / n — importance-
+//                corrected so E[x_{t+1}] matches full participation, but
+//                numerically fragile when some p_g is tiny.
+//   Stabilized : Eq. (35): the unbiased weights renormalized to sum to 1 —
+//                trades exact unbiasedness for numerical stability.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace groupfel::sampling {
+
+enum class AggregationMode { kBiased, kUnbiased, kStabilized };
+
+[[nodiscard]] std::string to_string(AggregationMode mode);
+[[nodiscard]] AggregationMode aggregation_mode_from_string(const std::string& name);
+
+/// Computes the per-sampled-group aggregation weights.
+///   sampled      : indices of the sampled groups (size S)
+///   p            : sampling probability of EVERY group
+///   group_sizes  : n_g of EVERY group (data entries)
+/// Returned vector aligns with `sampled`.
+[[nodiscard]] std::vector<double> aggregation_weights(
+    AggregationMode mode, std::span<const std::size_t> sampled,
+    std::span<const double> p, std::span<const std::size_t> group_sizes);
+
+}  // namespace groupfel::sampling

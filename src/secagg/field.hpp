@@ -1,0 +1,86 @@
+// Arithmetic in the prime field Z_p with p = 2^61 - 1 (a Mersenne prime).
+//
+// All secure-aggregation values (masked model deltas, Shamir shares,
+// Diffie–Hellman public keys) live in this field. 2^61 - 1 gives headroom
+// to sum thousands of fixed-point-encoded parameters without wrapping, and
+// Mersenne reduction keeps multiplication branch-light.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace groupfel::secagg {
+
+/// The field modulus p = 2^61 - 1.
+inline constexpr std::uint64_t kFieldPrime = (1ull << 61) - 1;
+
+/// A field element in [0, p). Thin wrapper to keep raw uint64 arithmetic
+/// from mixing with field arithmetic by accident.
+class Fe {
+ public:
+  constexpr Fe() = default;
+  /// Reduces any uint64 into the field.
+  explicit constexpr Fe(std::uint64_t v) : v_(reduce(v)) {}
+
+  [[nodiscard]] constexpr std::uint64_t value() const noexcept { return v_; }
+
+  friend constexpr Fe operator+(Fe a, Fe b) noexcept {
+    std::uint64_t s = a.v_ + b.v_;  // < 2^62, no overflow
+    if (s >= kFieldPrime) s -= kFieldPrime;
+    return from_raw(s);
+  }
+  friend constexpr Fe operator-(Fe a, Fe b) noexcept {
+    return from_raw(a.v_ >= b.v_ ? a.v_ - b.v_ : a.v_ + kFieldPrime - b.v_);
+  }
+  friend Fe operator*(Fe a, Fe b) noexcept;
+
+  constexpr Fe& operator+=(Fe b) noexcept { return *this = *this + b; }
+  constexpr Fe& operator-=(Fe b) noexcept { return *this = *this - b; }
+  Fe& operator*=(Fe b) noexcept { return *this = *this * b; }
+
+  friend constexpr bool operator==(Fe a, Fe b) noexcept { return a.v_ == b.v_; }
+
+  /// Additive inverse.
+  [[nodiscard]] constexpr Fe neg() const noexcept {
+    return from_raw(v_ == 0 ? 0 : kFieldPrime - v_);
+  }
+
+ private:
+  static constexpr std::uint64_t reduce(std::uint64_t v) noexcept {
+    // v < 2^64; two Mersenne folds bring it below p.
+    v = (v & kFieldPrime) + (v >> 61);
+    if (v >= kFieldPrime) v -= kFieldPrime;
+    return v;
+  }
+  static constexpr Fe from_raw(std::uint64_t v) noexcept {
+    Fe f;
+    f.v_ = v;
+    return f;
+  }
+  std::uint64_t v_ = 0;
+};
+
+/// a^e mod p by square-and-multiply.
+[[nodiscard]] Fe fe_pow(Fe a, std::uint64_t e) noexcept;
+
+/// Multiplicative inverse via Fermat (a != 0).
+[[nodiscard]] Fe fe_inv(Fe a);
+
+/// Fixed-point encoding of model deltas into the field.
+///
+/// value -> round(value * 2^frac_bits), represented mod p (negatives wrap).
+/// Decoding of an aggregate of up to `max_terms` values interprets field
+/// elements in (p/2, p) as negative. With frac_bits=16 and |value| <= 2^20,
+/// sums of ~2^24 terms stay unambiguous.
+struct FixedPointCodec {
+  unsigned frac_bits = 16;
+
+  [[nodiscard]] Fe encode(float v) const;
+  [[nodiscard]] double decode(Fe v) const;
+
+  void encode_vector(std::span<const float> in, std::vector<Fe>& out) const;
+  void decode_vector(std::span<const Fe> in, std::vector<float>& out) const;
+};
+
+}  // namespace groupfel::secagg

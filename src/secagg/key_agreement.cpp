@@ -1,0 +1,25 @@
+#include "secagg/key_agreement.hpp"
+
+namespace groupfel::secagg {
+
+DhKeyPair dh_generate(runtime::Rng& rng) {
+  DhKeyPair kp;
+  // Private key uniform in [1, p-1).
+  kp.private_key = 1 + rng.next_below(kFieldPrime - 2);
+  kp.public_key = fe_pow(Fe(kDhGenerator), kp.private_key);
+  return kp;
+}
+
+Fe dh_shared(std::uint64_t private_key, Fe their_public) {
+  return fe_pow(their_public, private_key);
+}
+
+std::uint64_t seed_from_shared(Fe shared) {
+  // splitmix64 finalizer as the extractor.
+  std::uint64_t z = shared.value() + 0x9e3779b97f4a7c15ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace groupfel::secagg

@@ -1,0 +1,37 @@
+// Diffie–Hellman key agreement over Z_p* (p = 2^61 - 1), used by the
+// secure-aggregation protocol to derive pairwise mask seeds.
+//
+// This is a SIMULATION-grade DH: the 61-bit group is large enough to
+// exercise the real protocol logic (keypair generation, public-key
+// exchange, shared-secret derivation, seed extraction) and to measure its
+// cost shape, but is NOT cryptographically secure. A production deployment
+// would swap in X25519; the interface is deliberately shaped for that.
+#pragma once
+
+#include <cstdint>
+
+#include "runtime/rng.hpp"
+#include "secagg/field.hpp"
+
+namespace groupfel::secagg {
+
+/// Fixed group generator. 3 generates a large subgroup of Z_p* for
+/// p = 2^61 - 1 (verified in tests).
+inline constexpr std::uint64_t kDhGenerator = 3;
+
+struct DhKeyPair {
+  std::uint64_t private_key = 0;  ///< a in [1, p-1)
+  Fe public_key;                  ///< g^a
+};
+
+/// Generates a keypair from the client's RNG stream.
+[[nodiscard]] DhKeyPair dh_generate(runtime::Rng& rng);
+
+/// Derives the shared secret g^{ab} from our private key and their public
+/// key. Symmetric: dh_shared(a, B) == dh_shared(b, A).
+[[nodiscard]] Fe dh_shared(std::uint64_t private_key, Fe their_public);
+
+/// Hashes a shared field element into a 64-bit PRG seed.
+[[nodiscard]] std::uint64_t seed_from_shared(Fe shared);
+
+}  // namespace groupfel::secagg

@@ -1,0 +1,90 @@
+#include "secagg/prg.hpp"
+
+namespace groupfel::secagg {
+
+namespace {
+constexpr std::uint32_t rotl32(std::uint32_t x, int k) noexcept {
+  return (x << k) | (x >> (32 - k));
+}
+
+void quarter_round(std::array<std::uint32_t, 16>& s, int a, int b, int c,
+                   int d) noexcept {
+  s[a] += s[b]; s[d] ^= s[a]; s[d] = rotl32(s[d], 16);
+  s[c] += s[d]; s[b] ^= s[c]; s[b] = rotl32(s[b], 12);
+  s[a] += s[b]; s[d] ^= s[a]; s[d] = rotl32(s[d], 8);
+  s[c] += s[d]; s[b] ^= s[c]; s[b] = rotl32(s[b], 7);
+}
+
+// Expands a 64-bit seed into 8 key words via splitmix64 (both sides of the
+// protocol derive the key identically from the shared seed).
+std::array<std::uint32_t, 8> expand_key(std::uint64_t seed) noexcept {
+  std::array<std::uint32_t, 8> key{};
+  std::uint64_t sm = seed;
+  for (int i = 0; i < 4; ++i) {
+    std::uint64_t z = (sm += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    z ^= z >> 31;
+    key[2 * i] = static_cast<std::uint32_t>(z);
+    key[2 * i + 1] = static_cast<std::uint32_t>(z >> 32);
+  }
+  return key;
+}
+}  // namespace
+
+ChaChaPrg::ChaChaPrg(std::uint64_t seed, std::uint64_t nonce) {
+  // RFC 8439 constants "expand 32-byte k".
+  state_[0] = 0x61707865;
+  state_[1] = 0x3320646e;
+  state_[2] = 0x79622d32;
+  state_[3] = 0x6b206574;
+  const auto key = expand_key(seed);
+  for (int i = 0; i < 8; ++i) state_[4 + i] = key[static_cast<std::size_t>(i)];
+  state_[12] = 0;  // block counter
+  state_[13] = 0;
+  state_[14] = static_cast<std::uint32_t>(nonce);
+  state_[15] = static_cast<std::uint32_t>(nonce >> 32);
+}
+
+void ChaChaPrg::refill() {
+  block_ = state_;
+  for (int round = 0; round < 10; ++round) {  // 20 rounds = 10 double rounds
+    quarter_round(block_, 0, 4, 8, 12);
+    quarter_round(block_, 1, 5, 9, 13);
+    quarter_round(block_, 2, 6, 10, 14);
+    quarter_round(block_, 3, 7, 11, 15);
+    quarter_round(block_, 0, 5, 10, 15);
+    quarter_round(block_, 1, 6, 11, 12);
+    quarter_round(block_, 2, 7, 8, 13);
+    quarter_round(block_, 3, 4, 9, 14);
+  }
+  for (int i = 0; i < 16; ++i)
+    block_[static_cast<std::size_t>(i)] += state_[static_cast<std::size_t>(i)];
+  // 64-bit block counter in words 12/13.
+  if (++state_[12] == 0) ++state_[13];
+  cursor_ = 0;
+}
+
+std::uint64_t ChaChaPrg::next_u64() {
+  if (cursor_ + 2 > 16) refill();
+  const std::uint64_t lo = block_[cursor_];
+  const std::uint64_t hi = block_[cursor_ + 1];
+  cursor_ += 2;
+  return lo | (hi << 32);
+}
+
+Fe ChaChaPrg::next_fe() {
+  // Rejection sampling on the top 61 bits keeps the distribution uniform.
+  for (;;) {
+    const std::uint64_t v = next_u64() >> 3;  // 61 bits
+    if (v < kFieldPrime) return Fe(v);
+  }
+}
+
+std::vector<Fe> ChaChaPrg::mask(std::size_t n) {
+  std::vector<Fe> out(n);
+  for (auto& v : out) v = next_fe();
+  return out;
+}
+
+}  // namespace groupfel::secagg

@@ -1,0 +1,40 @@
+// Keyed pseudorandom generator for secure-aggregation mask expansion.
+//
+// Implements the ChaCha20 block function (RFC 8439) from scratch. Both a
+// client and the server (during dropout recovery) must expand the same seed
+// to the same mask stream, so the PRG is part of the protocol definition —
+// unlike the simulation RNG in runtime/rng.hpp, which is free to change.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "secagg/field.hpp"
+
+namespace groupfel::secagg {
+
+class ChaChaPrg {
+ public:
+  /// Keys the stream from a 64-bit seed (expanded into the 256-bit ChaCha
+  /// key deterministically) and a 64-bit nonce (protocol round / pair tag).
+  ChaChaPrg(std::uint64_t seed, std::uint64_t nonce);
+
+  /// Next 64 pseudorandom bits.
+  [[nodiscard]] std::uint64_t next_u64();
+
+  /// Next field element, uniform in [0, p) via rejection sampling.
+  [[nodiscard]] Fe next_fe();
+
+  /// Expands `n` field elements (the mask vector for an n-parameter model).
+  [[nodiscard]] std::vector<Fe> mask(std::size_t n);
+
+ private:
+  void refill();
+
+  std::array<std::uint32_t, 16> state_{};
+  std::array<std::uint32_t, 16> block_{};
+  std::size_t cursor_ = 16;  // forces refill on first use
+};
+
+}  // namespace groupfel::secagg

@@ -1,0 +1,155 @@
+#include "secagg/secure_aggregator.hpp"
+
+#include <stdexcept>
+
+namespace groupfel::secagg {
+
+SecureAggregator::SecureAggregator(std::size_t num_clients,
+                                   std::size_t vector_size, SecAggConfig config,
+                                   runtime::Rng& rng)
+    : n_(num_clients), dim_(vector_size), cfg_(config) {
+  if (n_ == 0) throw std::invalid_argument("SecureAggregator: no clients");
+  t_ = cfg_.threshold != 0 ? cfg_.threshold : (2 * n_ + 2) / 3;
+  if (t_ > n_)
+    throw std::invalid_argument("SecureAggregator: threshold exceeds group");
+  codec_.frac_bits = cfg_.frac_bits;
+
+  // Round 0: key generation. Each client draws from its own forked stream.
+  dh_.resize(n_);
+  self_seed_.resize(n_);
+  for (std::size_t i = 0; i < n_; ++i) {
+    auto client_rng = rng.fork(0x6b657967ull /*"keyg"*/ + i);
+    dh_[i] = dh_generate(client_rng);
+    self_seed_[i] = client_rng.next_u64();
+  }
+
+  // Round 1: Shamir sharing of private keys and self-mask seeds.
+  shares_of_priv_.resize(n_);
+  shares_of_self_.resize(n_);
+  for (std::size_t i = 0; i < n_; ++i) {
+    auto share_rng = rng.fork(0x73686172ull /*"shar"*/ + i);
+    // A 61-bit private key fits one field element; the self seed is 64-bit
+    // so it is split into two 32-bit halves packed into one element each.
+    shares_of_priv_[i] = shamir_share(Fe(dh_[i].private_key), n_, t_, share_rng);
+    // Self seed: share low and high halves as two polynomials; we pack them
+    // as one share vector of 2n by concatenation? Keep it simple: share the
+    // 61 low bits and fold the top 3 bits into the nonce domain instead.
+    shares_of_self_[i] =
+        shamir_share(Fe(self_seed_[i] & kFieldPrime), n_, t_, share_rng);
+    // Mask the stored seed to the shared 61 bits so reconstruction matches.
+    self_seed_[i] &= kFieldPrime;
+  }
+}
+
+std::uint64_t SecureAggregator::pair_nonce(std::size_t lo,
+                                           std::size_t hi) const {
+  return (cfg_.round_tag << 20) ^ (static_cast<std::uint64_t>(lo) << 10) ^
+         static_cast<std::uint64_t>(hi) ^ 0xA5A5ull;
+}
+
+std::uint64_t SecureAggregator::self_nonce(std::size_t i) const {
+  return (cfg_.round_tag << 20) ^ static_cast<std::uint64_t>(i) ^ 0x5A5A0000ull;
+}
+
+std::uint64_t SecureAggregator::pair_seed(std::size_t i, std::size_t j) const {
+  const Fe shared = dh_shared(dh_[i].private_key, dh_[j].public_key);
+  return seed_from_shared(shared);
+}
+
+std::vector<Fe> SecureAggregator::client_masked_input(
+    std::size_t i, std::span<const float> x) const {
+  if (i >= n_) throw std::out_of_range("client_masked_input: bad client id");
+  if (x.size() != dim_)
+    throw std::invalid_argument("client_masked_input: bad vector size");
+
+  std::vector<Fe> y(dim_);
+  for (std::size_t k = 0; k < dim_; ++k) y[k] = codec_.encode(x[k]);
+
+  // Self mask.
+  ChaChaPrg self_prg(self_seed_[i], self_nonce(i));
+  for (std::size_t k = 0; k < dim_; ++k) y[k] += self_prg.next_fe();
+
+  // Pairwise masks: + for j > i, - for j < i, so they cancel in the sum.
+  for (std::size_t j = 0; j < n_; ++j) {
+    if (j == i) continue;
+    const std::size_t lo = std::min(i, j), hi = std::max(i, j);
+    ChaChaPrg pair_prg(pair_seed(i, j), pair_nonce(lo, hi));
+    if (j > i) {
+      for (std::size_t k = 0; k < dim_; ++k) y[k] += pair_prg.next_fe();
+    } else {
+      for (std::size_t k = 0; k < dim_; ++k) y[k] -= pair_prg.next_fe();
+    }
+  }
+  return y;
+}
+
+std::vector<float> SecureAggregator::aggregate(
+    const std::vector<std::optional<std::vector<Fe>>>& survivor_inputs) const {
+  if (survivor_inputs.size() != n_)
+    throw std::invalid_argument("aggregate: expected one slot per client");
+
+  std::vector<std::size_t> survivors, dropped;
+  for (std::size_t i = 0; i < n_; ++i)
+    (survivor_inputs[i] ? survivors : dropped).push_back(i);
+  if (survivors.size() < t_)
+    throw std::runtime_error("aggregate: fewer survivors than threshold");
+
+  std::vector<Fe> sum(dim_);
+  for (auto i : survivors) {
+    const auto& y = *survivor_inputs[i];
+    if (y.size() != dim_) throw std::invalid_argument("aggregate: bad vector");
+    for (std::size_t k = 0; k < dim_; ++k) sum[k] += y[k];
+  }
+
+  // Remove survivors' self masks. The server gathers t shares of b_i from
+  // the first t survivors (any t work).
+  for (auto i : survivors) {
+    std::vector<Share> shares;
+    for (std::size_t s = 0; s < t_; ++s)
+      shares.push_back(shares_of_self_[i][survivors[s]]);
+    const Fe seed = shamir_reconstruct(shares);
+    ChaChaPrg self_prg(seed.value(), self_nonce(i));
+    for (std::size_t k = 0; k < dim_; ++k) sum[k] -= self_prg.next_fe();
+  }
+
+  // Remove dropped clients' pairwise masks. Reconstructing a_j lets the
+  // server recompute s_ij with every survivor's PUBLIC key.
+  for (auto j : dropped) {
+    std::vector<Share> shares;
+    for (std::size_t s = 0; s < t_; ++s)
+      shares.push_back(shares_of_priv_[j][survivors[s]]);
+    const std::uint64_t priv_j = shamir_reconstruct(shares).value();
+    for (auto i : survivors) {
+      const Fe shared = dh_shared(priv_j, dh_[i].public_key);
+      const std::uint64_t seed = seed_from_shared(shared);
+      const std::size_t lo = std::min(i, j), hi = std::max(i, j);
+      ChaChaPrg pair_prg(seed, pair_nonce(lo, hi));
+      // Survivor i added sign(i relative to j): + if j > i else -.
+      if (j > i) {
+        for (std::size_t k = 0; k < dim_; ++k) sum[k] -= pair_prg.next_fe();
+      } else {
+        for (std::size_t k = 0; k < dim_; ++k) sum[k] += pair_prg.next_fe();
+      }
+    }
+  }
+
+  std::vector<float> out(dim_);
+  for (std::size_t k = 0; k < dim_; ++k)
+    out[k] = static_cast<float>(codec_.decode(sum[k]));
+  return out;
+}
+
+std::vector<float> SecureAggregator::run(
+    const std::vector<std::vector<float>>& inputs,
+    const std::set<std::size_t>& dropped) const {
+  if (inputs.size() != n_)
+    throw std::invalid_argument("run: expected one input per client");
+  std::vector<std::optional<std::vector<Fe>>> slots(n_);
+  for (std::size_t i = 0; i < n_; ++i) {
+    if (dropped.count(i)) continue;
+    slots[i] = client_masked_input(i, inputs[i]);
+  }
+  return aggregate(slots);
+}
+
+}  // namespace groupfel::secagg

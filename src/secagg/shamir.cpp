@@ -1,0 +1,62 @@
+#include "secagg/shamir.hpp"
+
+#include <stdexcept>
+
+namespace groupfel::secagg {
+
+std::vector<Share> shamir_share(Fe secret, std::size_t n, std::size_t t,
+                                runtime::Rng& rng) {
+  if (t == 0 || t > n)
+    throw std::invalid_argument("shamir_share: need 1 <= t <= n");
+  // Random polynomial of degree t-1 with constant term = secret.
+  std::vector<Fe> coef(t);
+  coef[0] = secret;
+  for (std::size_t i = 1; i < t; ++i) {
+    // Uniform field element via rejection on 61 bits.
+    for (;;) {
+      const std::uint64_t v = rng.next_u64() >> 3;
+      if (v < kFieldPrime) {
+        coef[i] = Fe(v);
+        break;
+      }
+    }
+  }
+  std::vector<Share> shares(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Fe x(static_cast<std::uint64_t>(i + 1));
+    // Horner evaluation.
+    Fe y = coef[t - 1];
+    for (std::size_t k = t - 1; k-- > 0;) y = y * x + coef[k];
+    shares[i] = Share{i + 1, y};
+  }
+  return shares;
+}
+
+Fe shamir_reconstruct(std::span<const Share> shares) {
+  if (shares.empty())
+    throw std::invalid_argument("shamir_reconstruct: no shares");
+  for (std::size_t i = 0; i < shares.size(); ++i) {
+    if (shares[i].x == 0)
+      throw std::invalid_argument("shamir_reconstruct: x == 0");
+    for (std::size_t j = i + 1; j < shares.size(); ++j)
+      if (shares[i].x == shares[j].x)
+        throw std::invalid_argument("shamir_reconstruct: duplicate share");
+  }
+  // Lagrange interpolation at x = 0:
+  //   secret = sum_i y_i * prod_{j != i} x_j / (x_j - x_i)
+  Fe secret(0);
+  for (std::size_t i = 0; i < shares.size(); ++i) {
+    Fe num(1), den(1);
+    const Fe xi(shares[i].x);
+    for (std::size_t j = 0; j < shares.size(); ++j) {
+      if (j == i) continue;
+      const Fe xj(shares[j].x);
+      num *= xj;
+      den *= (xj - xi);
+    }
+    secret += shares[i].y * num * fe_inv(den);
+  }
+  return secret;
+}
+
+}  // namespace groupfel::secagg

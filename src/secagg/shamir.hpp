@@ -1,0 +1,29 @@
+// Shamir secret sharing over Z_{2^61 - 1} — the dropout-recovery mechanism
+// of the secure-aggregation protocol (clients share their mask seeds so the
+// server can reconstruct the masks of dropped clients from any t survivors).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "runtime/rng.hpp"
+#include "secagg/field.hpp"
+
+namespace groupfel::secagg {
+
+struct Share {
+  std::uint64_t x = 0;  ///< evaluation point (participant id + 1, never 0)
+  Fe y;                 ///< polynomial value at x
+};
+
+/// Splits `secret` into `n` shares with reconstruction threshold `t`
+/// (any t shares suffice; t-1 reveal nothing). Points are x = 1..n.
+[[nodiscard]] std::vector<Share> shamir_share(Fe secret, std::size_t n,
+                                              std::size_t t,
+                                              runtime::Rng& rng);
+
+/// Reconstructs the secret from >= t shares by Lagrange interpolation at 0.
+/// Throws if shares are empty or contain duplicate x coordinates.
+[[nodiscard]] Fe shamir_reconstruct(std::span<const Share> shares);
+
+}  // namespace groupfel::secagg

@@ -1,0 +1,40 @@
+#include "secagg/transcript.hpp"
+
+#include <stdexcept>
+
+namespace groupfel::secagg {
+
+ProtocolTranscript secagg_transcript(std::size_t n, std::size_t dim,
+                                     std::size_t dropouts,
+                                     std::size_t threshold, WireFormat wire) {
+  if (dropouts > n)
+    throw std::invalid_argument("secagg_transcript: dropouts > n");
+  if (threshold == 0 || threshold > n)
+    throw std::invalid_argument("secagg_transcript: bad threshold");
+  const std::size_t survivors = n - dropouts;
+  if (survivors < threshold)
+    throw std::invalid_argument(
+        "secagg_transcript: fewer survivors than threshold");
+
+  ProtocolTranscript t;
+
+  // Round 0: n uploads of one key + n broadcasts of the n-key list.
+  t.round0_keys = n * (wire.header + wire.public_key) +
+                  n * (wire.header + n * wire.public_key);
+
+  // Round 1: every client shares 2 secrets to n-1 peers; the server relays.
+  const std::size_t shares_sent = n * (n - 1) * 2;
+  t.round1_shares = 2 * shares_sent * wire.share + 2 * n * wire.header;
+
+  // Round 2: survivors upload masked vectors.
+  t.round2_masked = survivors * (wire.header + dim * wire.field_element);
+
+  // Round 3: t shares per survivor (self mask) + t per dropped (priv key).
+  t.round3_unmask =
+      (survivors + dropouts) * threshold * wire.share +
+      survivors * wire.header;
+
+  return t;
+}
+
+}  // namespace groupfel::secagg

@@ -1,0 +1,53 @@
+// Communication transcript of one secure-aggregation session — analytic
+// byte accounting per protocol round, mirroring the reporting style of the
+// original secure-aggregation paper [4]. Used to study the communication
+// bottleneck the paper's §2.3 discusses and to validate that round-1
+// (Shamir share distribution) is the quadratic-in-group-size term.
+#pragma once
+
+#include <cstddef>
+
+namespace groupfel::secagg {
+
+/// Wire sizes of the protocol's messages (bytes).
+struct WireFormat {
+  std::size_t public_key = 8;     ///< one Z_p element
+  std::size_t share = 16;         ///< (x, y) pair
+  std::size_t field_element = 8;  ///< masked vector entry
+  std::size_t header = 32;        ///< per-message envelope
+};
+
+struct ProtocolTranscript {
+  // Total bytes moved in each round, across ALL clients and the server.
+  std::size_t round0_keys = 0;     ///< public-key advertisement + broadcast
+  std::size_t round1_shares = 0;   ///< Shamir shares of priv key + self seed
+  std::size_t round2_masked = 0;   ///< masked input vectors
+  std::size_t round3_unmask = 0;   ///< share collection for unmasking
+
+  [[nodiscard]] std::size_t total() const {
+    return round0_keys + round1_shares + round2_masked + round3_unmask;
+  }
+  [[nodiscard]] double per_client(std::size_t n) const {
+    return n == 0 ? 0.0 : static_cast<double>(total()) / static_cast<double>(n);
+  }
+};
+
+/// Computes the transcript for a group of `n` clients, vector size `dim`,
+/// `dropouts` clients failing after round 2, and Shamir threshold `t`.
+///
+/// Round 0: each client uploads 1 public key; the server broadcasts all n
+///          keys back to every client.
+/// Round 1: each client sends every peer 2 shares (DH private key + self
+///          seed), routed via the server: n*(n-1)*2 shares uploaded and the
+///          same amount delivered.
+/// Round 2: each surviving client uploads its masked vector (dim elements).
+/// Round 3: the server collects t shares per surviving client (self-mask
+///          removal) and t shares per dropped client (pairwise-mask
+///          reconstruction).
+[[nodiscard]] ProtocolTranscript secagg_transcript(std::size_t n,
+                                                   std::size_t dim,
+                                                   std::size_t dropouts,
+                                                   std::size_t threshold,
+                                                   WireFormat wire = {});
+
+}  // namespace groupfel::secagg

@@ -1,0 +1,77 @@
+#include "util/csv.hpp"
+
+#include <charconv>
+#include <stdexcept>
+#include <system_error>
+
+namespace groupfel::util {
+
+std::string csv_escape(const std::string& field) {
+  if (field.find_first_of(",\"\n") == std::string::npos) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::string format_double(double v) {
+  char buf[32];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  if (ec != std::errc{}) throw std::runtime_error("format_double failed");
+  return std::string(buf, ptr);
+}
+
+CsvWriter::CsvWriter(std::string path, std::vector<std::string> columns)
+    : path_(std::move(path)), n_cols_(columns.size()) {
+  if (columns.empty()) throw std::invalid_argument("CsvWriter: no columns");
+  for (std::size_t i = 0; i < columns.size(); ++i) {
+    if (i) buffer_ += ',';
+    buffer_ += csv_escape(columns[i]);
+  }
+  buffer_ += '\n';
+}
+
+void CsvWriter::row(const std::vector<double>& values) {
+  if (values.size() != n_cols_)
+    throw std::invalid_argument("CsvWriter::row: arity mismatch");
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i) buffer_ += ',';
+    buffer_ += format_double(values[i]);
+  }
+  buffer_ += '\n';
+  ++n_rows_;
+}
+
+void CsvWriter::row_strings(const std::vector<std::string>& values) {
+  if (values.size() != n_cols_)
+    throw std::invalid_argument("CsvWriter::row_strings: arity mismatch");
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i) buffer_ += ',';
+    buffer_ += csv_escape(values[i]);
+  }
+  buffer_ += '\n';
+  ++n_rows_;
+}
+
+void CsvWriter::flush() {
+  std::ofstream out(path_, std::ios::trunc);
+  if (!out) throw std::runtime_error("CsvWriter: cannot open " + path_);
+  out << buffer_;
+  flushed_ = true;
+}
+
+CsvWriter::~CsvWriter() {
+  if (!flushed_) {
+    try {
+      flush();
+    } catch (...) {
+      // Destructors must not throw; the data is still in `buffer_` if the
+      // caller wants to retry via flush() before destruction.
+    }
+  }
+}
+
+}  // namespace groupfel::util

@@ -1,0 +1,49 @@
+// CSV emission for experiment series. Every bench binary writes one CSV per
+// reproduced figure/table (stdout summary + file), so downstream plotting is
+// a one-liner in any tool.
+#pragma once
+
+#include <fstream>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace groupfel::util {
+
+/// Row-buffered CSV writer. Columns are fixed at construction; `row` throws
+/// if the arity mismatches, catching experiment-harness bugs early.
+class CsvWriter {
+ public:
+  CsvWriter(std::string path, std::vector<std::string> columns);
+
+  /// Appends one row; values are formatted with max double precision.
+  void row(const std::vector<double>& values);
+
+  /// Mixed string/number rows (e.g. a method-name column).
+  void row_strings(const std::vector<std::string>& values);
+
+  /// Flushes the buffer to `path`. Called automatically on destruction.
+  void flush();
+
+  ~CsvWriter();
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+  [[nodiscard]] std::size_t rows_written() const noexcept { return n_rows_; }
+
+ private:
+  std::string path_;
+  std::size_t n_cols_;
+  std::string buffer_;
+  std::size_t n_rows_ = 0;
+  bool flushed_ = false;
+};
+
+/// Escapes a CSV field (quotes when it contains comma/quote/newline).
+[[nodiscard]] std::string csv_escape(const std::string& field);
+
+/// Formats a double compactly but round-trippably.
+[[nodiscard]] std::string format_double(double v);
+
+}  // namespace groupfel::util

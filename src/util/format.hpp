@@ -1,0 +1,32 @@
+// String formatting helpers (libstdc++ 12 has no <format>).
+#pragma once
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+
+namespace groupfel::util {
+
+/// %g-style compact formatting with `sig` significant digits.
+[[nodiscard]] inline std::string num(double v, int sig = 6) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.*g", sig, v);
+  return buf;
+}
+
+/// Fixed-point formatting with `prec` decimals.
+[[nodiscard]] inline std::string fixed(double v, int prec = 2) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.*f", prec, v);
+  return buf;
+}
+
+/// Stream-concatenates all arguments into one string.
+template <typename... Args>
+[[nodiscard]] std::string cat(Args&&... args) {
+  std::ostringstream os;
+  (os << ... << std::forward<Args>(args));
+  return os.str();
+}
+
+}  // namespace groupfel::util

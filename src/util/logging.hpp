@@ -1,0 +1,44 @@
+// Minimal leveled logger. Benches and examples use INFO; the library itself
+// only logs at DEBUG so it stays quiet when embedded.
+#pragma once
+
+#include <string_view>
+
+#include "util/format.hpp"
+
+namespace groupfel::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Global threshold; messages below it are dropped.
+void set_log_level(LogLevel level) noexcept;
+[[nodiscard]] LogLevel log_level() noexcept;
+
+/// Thread-safe sink to stderr with a level prefix.
+void log_message(LogLevel level, std::string_view msg);
+
+template <typename... Args>
+void log_debug(Args&&... args) {
+  if (log_level() <= LogLevel::kDebug)
+    log_message(LogLevel::kDebug, cat(std::forward<Args>(args)...));
+}
+
+template <typename... Args>
+void log_info(Args&&... args) {
+  if (log_level() <= LogLevel::kInfo)
+    log_message(LogLevel::kInfo, cat(std::forward<Args>(args)...));
+}
+
+template <typename... Args>
+void log_warn(Args&&... args) {
+  if (log_level() <= LogLevel::kWarn)
+    log_message(LogLevel::kWarn, cat(std::forward<Args>(args)...));
+}
+
+template <typename... Args>
+void log_error(Args&&... args) {
+  if (log_level() <= LogLevel::kError)
+    log_message(LogLevel::kError, cat(std::forward<Args>(args)...));
+}
+
+}  // namespace groupfel::util

@@ -1,0 +1,149 @@
+#include "util/stats.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace groupfel::util {
+
+double mean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+double variance(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  const double m = mean(xs);
+  double s = 0.0;
+  for (double x : xs) s += (x - m) * (x - m);
+  return s / static_cast<double>(xs.size());
+}
+
+double stddev(std::span<const double> xs) { return std::sqrt(variance(xs)); }
+
+double coefficient_of_variation(std::span<const double> xs) {
+  const double m = mean(xs);
+  if (m == 0.0) return 0.0;
+  return stddev(xs) / m;
+}
+
+double min_of(std::span<const double> xs) {
+  double v = std::numeric_limits<double>::infinity();
+  for (double x : xs) v = std::min(v, x);
+  return v;
+}
+
+double max_of(std::span<const double> xs) {
+  double v = -std::numeric_limits<double>::infinity();
+  for (double x : xs) v = std::max(v, x);
+  return v;
+}
+
+LinearFit fit_linear(std::span<const double> x, std::span<const double> y) {
+  if (x.size() != y.size() || x.size() < 2)
+    throw std::invalid_argument("fit_linear: need >=2 matched points");
+  const double mx = mean(x), my = mean(y);
+  double sxx = 0.0, sxy = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sxx += (x[i] - mx) * (x[i] - mx);
+    sxy += (x[i] - mx) * (y[i] - my);
+    syy += (y[i] - my) * (y[i] - my);
+  }
+  LinearFit fit;
+  fit.slope = sxx > 0 ? sxy / sxx : 0.0;
+  fit.intercept = my - fit.slope * mx;
+  if (syy > 0) {
+    double ss_res = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      const double e = y[i] - (fit.slope * x[i] + fit.intercept);
+      ss_res += e * e;
+    }
+    fit.r2 = 1.0 - ss_res / syy;
+  } else {
+    fit.r2 = 1.0;
+  }
+  return fit;
+}
+
+namespace {
+// Solves a 3x3 linear system by Gaussian elimination with partial pivoting.
+void solve3(double A[3][3], double b[3], double out[3]) {
+  int idx[3] = {0, 1, 2};
+  for (int col = 0; col < 3; ++col) {
+    int piv = col;
+    for (int r = col + 1; r < 3; ++r)
+      if (std::abs(A[idx[r]][col]) > std::abs(A[idx[piv]][col])) piv = r;
+    std::swap(idx[col], idx[piv]);
+    const double d = A[idx[col]][col];
+    if (std::abs(d) < 1e-12)
+      throw std::runtime_error("fit_quadratic: singular normal equations");
+    for (int r = col + 1; r < 3; ++r) {
+      const double f = A[idx[r]][col] / d;
+      for (int c = col; c < 3; ++c) A[idx[r]][c] -= f * A[idx[col]][c];
+      b[idx[r]] -= f * b[idx[col]];
+    }
+  }
+  for (int row = 2; row >= 0; --row) {
+    double s = b[idx[row]];
+    for (int c = row + 1; c < 3; ++c) s -= A[idx[row]][c] * out[c];
+    out[row] = s / A[idx[row]][row];
+  }
+}
+}  // namespace
+
+QuadraticFit fit_quadratic(std::span<const double> x,
+                           std::span<const double> y) {
+  if (x.size() != y.size() || x.size() < 3)
+    throw std::invalid_argument("fit_quadratic: need >=3 matched points");
+  // Normal equations for basis {x^2, x, 1}.
+  double s[5] = {0, 0, 0, 0, 0};  // sum of x^k, k=0..4
+  double t[3] = {0, 0, 0};        // sum of y*x^k, k=0..2
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    double xk = 1.0;
+    for (int k = 0; k <= 4; ++k) {
+      s[k] += xk;
+      if (k <= 2) t[k] += y[i] * xk;
+      xk *= x[i];
+    }
+  }
+  double A[3][3] = {{s[4], s[3], s[2]}, {s[3], s[2], s[1]}, {s[2], s[1], s[0]}};
+  double b[3] = {t[2], t[1], t[0]};
+  double coef[3];
+  solve3(A, b, coef);
+
+  QuadraticFit fit;
+  fit.a = coef[0];
+  fit.b = coef[1];
+  fit.c = coef[2];
+  const double my = mean(y);
+  double ss_tot = 0.0, ss_res = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double pred = fit.a * x[i] * x[i] + fit.b * x[i] + fit.c;
+    ss_tot += (y[i] - my) * (y[i] - my);
+    ss_res += (y[i] - pred) * (y[i] - pred);
+  }
+  fit.r2 = ss_tot > 0 ? 1.0 - ss_res / ss_tot : 1.0;
+  return fit;
+}
+
+double kl_divergence(std::span<const double> p, std::span<const double> q,
+                     double eps) {
+  if (p.size() != q.size())
+    throw std::invalid_argument("kl_divergence: size mismatch");
+  double ps = 0.0, qs = 0.0;
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    ps += p[i] + eps;
+    qs += q[i] + eps;
+  }
+  double kl = 0.0;
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    const double pi = (p[i] + eps) / ps;
+    const double qi = (q[i] + eps) / qs;
+    kl += pi * std::log(pi / qi);
+  }
+  return kl;
+}
+
+}  // namespace groupfel::util

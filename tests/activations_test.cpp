@@ -1,0 +1,179 @@
+#include "nn/activations.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/gradcheck.hpp"
+#include "nn/models.hpp"
+
+namespace groupfel::nn {
+namespace {
+
+TEST(Sigmoid, KnownValues) {
+  Sigmoid s;
+  Tensor x({1, 3}, {0.0f, 100.0f, -100.0f});
+  const Tensor y = s.forward(x, false);
+  EXPECT_FLOAT_EQ(y[0], 0.5f);
+  EXPECT_NEAR(y[1], 1.0f, 1e-6f);
+  EXPECT_NEAR(y[2], 0.0f, 1e-6f);
+}
+
+TEST(Sigmoid, GradientAtZeroIsQuarter) {
+  Sigmoid s;
+  Tensor x({1, 1}, {0.0f});
+  (void)s.forward(x, true);
+  Tensor g({1, 1}, {1.0f});
+  EXPECT_NEAR(s.backward(g)[0], 0.25f, 1e-6f);
+}
+
+TEST(Tanh, KnownValues) {
+  Tanh t;
+  Tensor x({1, 2}, {0.0f, 100.0f});
+  const Tensor y = t.forward(x, false);
+  EXPECT_FLOAT_EQ(y[0], 0.0f);
+  EXPECT_NEAR(y[1], 1.0f, 1e-6f);
+}
+
+TEST(Tanh, GradientAtZeroIsOne) {
+  Tanh t;
+  Tensor x({1, 1}, {0.0f});
+  (void)t.forward(x, true);
+  Tensor g({1, 1}, {1.0f});
+  EXPECT_NEAR(t.backward(g)[0], 1.0f, 1e-6f);
+}
+
+TEST(GradCheckSmooth, SigmoidMlp) {
+  runtime::Rng rng(1);
+  Model m;
+  m.add(std::make_unique<Linear>(6, 8))
+      .add(std::make_unique<Sigmoid>())
+      .add(std::make_unique<Linear>(8, 3));
+  m.init(rng);
+  Tensor x({4, 6});
+  for (auto& v : x.data()) v = static_cast<float>(rng.normal());
+  const std::vector<std::int32_t> labels{0, 1, 2, 1};
+  // Smooth activations: no kink slack needed.
+  const auto res = check_gradients(m, x, labels, 3e-3, 5e-2, 256, 0.0);
+  EXPECT_TRUE(res.passed) << res.max_rel_error;
+}
+
+TEST(GradCheckSmooth, TanhMlp) {
+  runtime::Rng rng(2);
+  Model m;
+  m.add(std::make_unique<Linear>(6, 8))
+      .add(std::make_unique<Tanh>())
+      .add(std::make_unique<Linear>(8, 3));
+  m.init(rng);
+  Tensor x({4, 6});
+  for (auto& v : x.data()) v = static_cast<float>(rng.normal());
+  const std::vector<std::int32_t> labels{2, 0, 1, 0};
+  const auto res = check_gradients(m, x, labels, 3e-3, 5e-2, 256, 0.0);
+  EXPECT_TRUE(res.passed) << res.max_rel_error;
+}
+
+TEST(Dropout, IdentityAtInference) {
+  Dropout d(0.5f);
+  Tensor x({1, 100});
+  for (std::size_t i = 0; i < 100; ++i) x[i] = 1.0f;
+  const Tensor y = d.forward(x, /*train=*/false);
+  for (std::size_t i = 0; i < 100; ++i) EXPECT_EQ(y[i], 1.0f);
+}
+
+TEST(Dropout, DropsAndRescalesInTraining) {
+  Dropout d(0.5f, 42);
+  Tensor x({1, 10000});
+  for (auto& v : x.data()) v = 1.0f;
+  const Tensor y = d.forward(x, /*train=*/true);
+  std::size_t zeros = 0;
+  double sum = 0.0;
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    if (y[i] == 0.0f) {
+      ++zeros;
+    } else {
+      EXPECT_FLOAT_EQ(y[i], 2.0f);  // 1 / (1 - 0.5)
+    }
+    sum += static_cast<double>(y[i]);
+  }
+  EXPECT_NEAR(static_cast<double>(zeros) / 10000.0, 0.5, 0.03);
+  // Inverted dropout preserves the expectation.
+  EXPECT_NEAR(sum / 10000.0, 1.0, 0.06);
+}
+
+TEST(Dropout, BackwardUsesSameMask) {
+  Dropout d(0.5f, 7);
+  Tensor x({1, 64});
+  for (auto& v : x.data()) v = 1.0f;
+  const Tensor y = d.forward(x, true);
+  Tensor g({1, 64});
+  for (auto& v : g.data()) v = 1.0f;
+  const Tensor gi = d.backward(g);
+  for (std::size_t i = 0; i < 64; ++i) EXPECT_EQ(gi[i], y[i]);
+}
+
+TEST(Dropout, ZeroPIsIdentityEvenInTraining) {
+  Dropout d(0.0f);
+  Tensor x({1, 8}, {1, 2, 3, 4, 5, 6, 7, 8});
+  const Tensor y = d.forward(x, true);
+  for (std::size_t i = 0; i < 8; ++i) EXPECT_EQ(y[i], x[i]);
+  Tensor g({1, 8}, {1, 1, 1, 1, 1, 1, 1, 1});
+  const Tensor gi = d.backward(g);
+  for (std::size_t i = 0; i < 8; ++i) EXPECT_EQ(gi[i], 1.0f);
+}
+
+TEST(Dropout, RejectsInvalidP) {
+  EXPECT_THROW(Dropout(-0.1f), std::invalid_argument);
+  EXPECT_THROW(Dropout(1.0f), std::invalid_argument);
+}
+
+TEST(AvgPool2d, AveragesWindows) {
+  AvgPool2d pool(2);
+  Tensor x({1, 1, 2, 2}, {1.0f, 2.0f, 3.0f, 6.0f});
+  const Tensor y = pool.forward(x, false);
+  EXPECT_FLOAT_EQ(y[0], 3.0f);
+}
+
+TEST(AvgPool2d, GradientSpreadsEvenly) {
+  AvgPool2d pool(2);
+  Tensor x({1, 1, 2, 2}, {1.0f, 2.0f, 3.0f, 6.0f});
+  (void)pool.forward(x, true);
+  Tensor g({1, 1, 1, 1}, {4.0f});
+  const Tensor gi = pool.backward(g);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_FLOAT_EQ(gi[i], 1.0f);
+}
+
+TEST(AvgPool2d, GradCheckThroughStack) {
+  runtime::Rng rng(3);
+  Model m;
+  m.add(std::make_unique<Conv2d>(1, 3, 3, 1))
+      .add(std::make_unique<Tanh>())
+      .add(std::make_unique<AvgPool2d>(2))
+      .add(std::make_unique<Flatten>())
+      .add(std::make_unique<Linear>(3 * 2 * 2, 2));
+  m.init(rng);
+  Tensor x({2, 1, 4, 4});
+  for (auto& v : x.data()) v = static_cast<float>(rng.normal());
+  const std::vector<std::int32_t> labels{0, 1};
+  const auto res = check_gradients(m, x, labels, 3e-3, 5e-2, 128, 0.0);
+  EXPECT_TRUE(res.passed) << res.max_rel_error;
+}
+
+TEST(AvgPool2d, RejectsBadWindow) {
+  EXPECT_THROW(AvgPool2d(0), std::invalid_argument);
+  AvgPool2d pool(5);
+  Tensor x({1, 1, 2, 2});
+  EXPECT_THROW((void)pool.forward(x, false), std::invalid_argument);
+}
+
+TEST(Dropout, CloneReplaysSameMaskStream) {
+  Dropout a(0.3f, 99);
+  auto b_layer = a.clone();
+  Tensor x({1, 128});
+  for (auto& v : x.data()) v = 1.0f;
+  const Tensor ya = a.forward(x, true);
+  const Tensor yb = b_layer->forward(x, true);
+  for (std::size_t i = 0; i < 128; ++i) EXPECT_EQ(ya[i], yb[i]);
+}
+
+}  // namespace
+}  // namespace groupfel::nn

@@ -1,0 +1,119 @@
+#include "nn/adam.hpp"
+
+#include <gtest/gtest.h>
+
+#include "nn/models.hpp"
+
+namespace groupfel::nn {
+namespace {
+
+struct TrainSetup {
+  Model model = make_mlp(6, 12, 3);
+  Tensor x{{8, 6}};
+  std::vector<std::int32_t> labels;
+
+  explicit TrainSetup(std::uint64_t seed) {
+    runtime::Rng rng(seed);
+    model.init(rng);
+    for (auto& v : x.data()) v = static_cast<float>(rng.normal());
+    labels.resize(8);
+    for (auto& l : labels) l = static_cast<std::int32_t>(rng.next_below(3));
+  }
+
+  double loss_step(const std::function<void()>& apply_update) {
+    model.zero_grad();
+    const Tensor logits = model.forward(x, true);
+    const LossResult lr = softmax_cross_entropy(logits, labels);
+    model.backward(lr.grad);
+    apply_update();
+    return lr.loss;
+  }
+};
+
+TEST(Adam, ReducesLossOnFixedBatch) {
+  TrainSetup setup(1);
+  AdamOptimizer opt({.lr = 0.01f});
+  const double first = setup.loss_step([&] { opt.step(setup.model); });
+  double last = first;
+  for (int i = 0; i < 40; ++i)
+    last = setup.loss_step([&] { opt.step(setup.model); });
+  EXPECT_LT(last, first * 0.5);
+}
+
+TEST(Adam, StepCountTracksCalls) {
+  TrainSetup setup(2);
+  AdamOptimizer opt({.lr = 0.01f});
+  EXPECT_EQ(opt.steps_taken(), 0u);
+  (void)setup.loss_step([&] { opt.step(setup.model); });
+  (void)setup.loss_step([&] { opt.step(setup.model); });
+  EXPECT_EQ(opt.steps_taken(), 2u);
+}
+
+TEST(Adam, FirstStepMagnitudeIsLr) {
+  // With bias correction, the very first Adam step moves each parameter by
+  // ~lr * sign(grad) (since m_hat/sqrt(v_hat) = g/|g|).
+  TrainSetup setup(3);
+  const std::vector<float> before = setup.model.flat_parameters();
+  AdamOptimizer opt({.lr = 0.01f});
+  (void)setup.loss_step([&] { opt.step(setup.model); });
+  const std::vector<float> after = setup.model.flat_parameters();
+  double max_move = 0.0;
+  for (std::size_t i = 0; i < before.size(); ++i)
+    max_move = std::max(max_move,
+                        std::abs(static_cast<double>(after[i]) - before[i]));
+  EXPECT_LE(max_move, 0.0101);
+  EXPECT_GT(max_move, 0.005);
+}
+
+TEST(Adam, AdjustHookApplied) {
+  TrainSetup setup(4);
+  AdamOptimizer opt({.lr = 0.01f});
+  bool called = false;
+  (void)setup.loss_step([&] {
+    opt.step(setup.model, [&](std::size_t, std::span<const float>,
+                              std::span<float> grad) {
+      called = true;
+      for (auto& g : grad) g = 0.0f;  // zero all gradients
+    });
+  });
+  EXPECT_TRUE(called);
+  // All-zero adjusted gradients: parameters unchanged.
+  TrainSetup reference(4);
+  EXPECT_EQ(setup.model.flat_parameters(), reference.model.flat_parameters());
+}
+
+TEST(Adam, WeightDecayShrinksParams) {
+  TrainSetup setup(5);
+  const double norm = [&] {
+    double s = 0;
+    for (float v : setup.model.flat_parameters())
+      s += static_cast<double>(v) * v;
+    return s;
+  }();
+  AdamOptimizer opt({.lr = 0.01f, .weight_decay = 1.0f});
+  setup.model.zero_grad();
+  opt.step(setup.model);  // decay-only update (gradients are zero)
+  const double norm_after = [&] {
+    double s = 0;
+    for (float v : setup.model.flat_parameters())
+      s += static_cast<double>(v) * v;
+    return s;
+  }();
+  EXPECT_LT(norm_after, norm);
+}
+
+TEST(Adam, HandlesMultipleModelsIndependently) {
+  // Moment buffers are sized to the model; switching models resets state.
+  TrainSetup a(6);
+  AdamOptimizer opt({.lr = 0.01f});
+  (void)a.loss_step([&] { opt.step(a.model); });
+  Model small = make_mlp(2, 3, 2);
+  runtime::Rng rng(7);
+  small.init(rng);
+  small.zero_grad();
+  EXPECT_NO_THROW(opt.step(small));
+  EXPECT_EQ(opt.steps_taken(), 1u);  // reset for the new model size
+}
+
+}  // namespace
+}  // namespace groupfel::nn

@@ -1,0 +1,91 @@
+// End-to-end backdoor threat-model tests: attack degrades the global model,
+// FLAME defense at group aggregation restores it (the trainer-level
+// integration of the backdoor substrate).
+#include <gtest/gtest.h>
+
+#include "core/experiment.hpp"
+
+namespace groupfel::core {
+namespace {
+
+struct Scenario {
+  Experiment exp;
+  GroupFelConfig cfg;
+
+  Scenario() {
+    ExperimentSpec spec;
+    spec.num_clients = 30;
+    spec.num_edges = 1;
+    spec.alpha = 1.0;  // mild skew: honest updates agree directionally
+    spec.size_mean = 25;
+    spec.size_std = 5;
+    spec.size_min = 15;
+    spec.size_max = 40;
+    spec.test_size = 500;
+    spec.seed = 99;
+    exp = build_experiment(spec);
+    // Every third client is malicious (~33%, but minority in most groups).
+    exp.topology.malicious.assign(30, false);
+    for (std::size_t i = 0; i < 30; i += 3) exp.topology.malicious[i] = true;
+
+    cfg.global_rounds = 8;
+    cfg.group_rounds = 2;
+    cfg.local_epochs = 1;
+    cfg.sampled_groups = 3;
+    cfg.grouping_params.min_group_size = 6;
+    cfg.seed = 77;
+    apply_method(Method::kGroupFel, cfg);
+  }
+
+  TrainResult run(bool attack, bool defense) {
+    GroupFelConfig c = cfg;
+    c.backdoor.attack = attack;
+    c.backdoor.defense = defense;
+    GroupFelTrainer trainer(
+        exp.topology, c,
+        build_cost_model(cost::Task::kCifar,
+                         cost::GroupOp::kBackdoorDetection));
+    return trainer.train();
+  }
+};
+
+TEST(BackdoorIntegration, AttackDegradesGlobalModel) {
+  Scenario s;
+  const double clean = s.run(false, false).best_accuracy;
+  const double attacked = s.run(true, false).best_accuracy;
+  EXPECT_LT(attacked, clean - 0.1);
+}
+
+TEST(BackdoorIntegration, DefenseRestoresAccuracy) {
+  Scenario s;
+  const double attacked = s.run(true, false).best_accuracy;
+  const TrainResult defended = s.run(true, true);
+  EXPECT_GT(defended.best_accuracy, attacked + 0.05);
+  EXPECT_GT(defended.defense_rejections, 0u);
+}
+
+TEST(BackdoorIntegration, DefenseHarmlessWithoutAttack) {
+  Scenario s;
+  const double clean = s.run(false, false).best_accuracy;
+  const TrainResult defended = s.run(false, true);
+  // FLAME on honest updates costs little accuracy.
+  EXPECT_GT(defended.best_accuracy, clean - 0.08);
+}
+
+TEST(BackdoorIntegration, NoMaliciousFlagsMeansNoAttackEffect) {
+  Scenario s;
+  s.exp.topology.malicious.assign(30, false);
+  const TrainResult a = s.run(false, false);
+  const TrainResult b = s.run(true, false);  // attack on, nobody malicious
+  ASSERT_EQ(a.final_params.size(), b.final_params.size());
+  for (std::size_t i = 0; i < a.final_params.size(); ++i)
+    EXPECT_EQ(a.final_params[i], b.final_params[i]);
+}
+
+TEST(BackdoorIntegration, RejectionCountIsZeroWithoutDefense) {
+  Scenario s;
+  EXPECT_EQ(s.run(true, false).defense_rejections, 0u);
+}
+
+}  // namespace
+}  // namespace groupfel::core

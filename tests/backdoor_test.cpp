@@ -1,0 +1,152 @@
+#include "backdoor/flame.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace groupfel::backdoor {
+namespace {
+
+TEST(Cosine, KnownValues) {
+  const std::vector<float> a{1.0f, 0.0f};
+  const std::vector<float> b{0.0f, 1.0f};
+  const std::vector<float> c{2.0f, 0.0f};
+  const std::vector<float> d{-3.0f, 0.0f};
+  EXPECT_NEAR(cosine_similarity(a, b), 0.0, 1e-9);
+  EXPECT_NEAR(cosine_similarity(a, c), 1.0, 1e-9);
+  EXPECT_NEAR(cosine_similarity(a, d), -1.0, 1e-9);
+}
+
+TEST(Cosine, ZeroVectorGivesZero) {
+  const std::vector<float> a{0.0f, 0.0f};
+  const std::vector<float> b{1.0f, 2.0f};
+  EXPECT_DOUBLE_EQ(cosine_similarity(a, b), 0.0);
+}
+
+TEST(Cosine, RejectsSizeMismatch) {
+  const std::vector<float> a{1.0f};
+  const std::vector<float> b{1.0f, 2.0f};
+  EXPECT_THROW((void)cosine_similarity(a, b), std::invalid_argument);
+}
+
+TEST(Cosine, PairwiseMatrixSymmetricZeroDiagonal) {
+  runtime::Rng rng(1);
+  std::vector<std::vector<float>> updates(5, std::vector<float>(8));
+  for (auto& u : updates)
+    for (auto& v : u) v = static_cast<float>(rng.normal());
+  const auto d = pairwise_cosine_distance(updates);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_DOUBLE_EQ(d[i][i], 0.0);
+    for (std::size_t j = 0; j < 5; ++j) {
+      EXPECT_DOUBLE_EQ(d[i][j], d[j][i]);
+      EXPECT_GE(d[i][j], -1e-12);
+      EXPECT_LE(d[i][j], 2.0 + 1e-12);
+    }
+  }
+}
+
+std::vector<std::vector<float>> benign_updates(std::size_t n, std::size_t dim,
+                                               runtime::Rng& rng) {
+  // Benign clients: shared direction + small noise.
+  std::vector<float> direction(dim);
+  for (auto& v : direction) v = static_cast<float>(rng.normal());
+  std::vector<std::vector<float>> updates(n, std::vector<float>(dim));
+  for (auto& u : updates)
+    for (std::size_t k = 0; k < dim; ++k)
+      u[k] = direction[k] + 0.1f * static_cast<float>(rng.normal());
+  return updates;
+}
+
+TEST(Flame, AcceptsHomogeneousUpdates) {
+  runtime::Rng rng(2);
+  const auto updates = benign_updates(10, 32, rng);
+  const FlameResult res = flame_filter(updates, {}, rng);
+  EXPECT_EQ(res.num_rejected, 0u);
+  for (bool a : res.accepted) EXPECT_TRUE(a);
+}
+
+TEST(Flame, RejectsPlantedBackdoors) {
+  runtime::Rng rng(3);
+  auto updates = benign_updates(10, 32, rng);
+  // Two attackers push the opposite direction.
+  for (std::size_t attacker : {3u, 7u})
+    for (auto& v : updates[attacker]) v = -v * 3.0f;
+  const FlameResult res = flame_filter(updates, {}, rng);
+  EXPECT_FALSE(res.accepted[3]);
+  EXPECT_FALSE(res.accepted[7]);
+  EXPECT_EQ(res.num_rejected, 2u);
+  // All benign clients survive.
+  for (std::size_t i = 0; i < 10; ++i)
+    if (i != 3 && i != 7) EXPECT_TRUE(res.accepted[i]);
+}
+
+TEST(Flame, MajorityClusterIsNeverRejected) {
+  // FLAME's benign-majority assumption: the larger cluster is always kept,
+  // whatever its direction — so a majority attack defeats the filter (its
+  // documented limitation) and, symmetrically, a benign majority is safe.
+  runtime::Rng rng(4);
+  const auto base = benign_updates(4, 32, rng);
+  std::vector<std::vector<float>> updates = base;  // 4 "originals"
+  for (std::size_t i = 0; i < 6; ++i) {            // 6 flipped = majority
+    updates.push_back(base[i % base.size()]);
+    for (auto& v : updates.back()) v = -v;
+  }
+  const FlameResult res = flame_filter(updates, {}, rng);
+  // None of the majority (flipped, indices 4..9) may be rejected.
+  for (std::size_t i = 4; i < 10; ++i) EXPECT_TRUE(res.accepted[i]);
+  // At most the minority can be rejected.
+  EXPECT_LE(res.num_rejected, 4u);
+}
+
+TEST(Flame, ClippingBoundsAggregateNorm) {
+  runtime::Rng rng(5);
+  auto updates = benign_updates(8, 16, rng);
+  // One client sends a huge (but same-direction) update: accepted, clipped.
+  for (auto& v : updates[0]) v *= 100.0f;
+  const FlameResult res = flame_filter(updates, {}, rng);
+  double norm = 0.0;
+  for (float v : res.aggregated) norm += static_cast<double>(v) * v;
+  norm = std::sqrt(norm);
+  EXPECT_LE(norm, res.clip_norm * 1.05);
+}
+
+TEST(Flame, NoiseChangesAggregate) {
+  runtime::Rng r1(6), r2(6);
+  const auto updates = benign_updates(6, 16, r1);
+  FlameConfig quiet, noisy;
+  noisy.noise_factor = 0.5;
+  runtime::Rng fr1(7), fr2(7);
+  const auto a = flame_filter(updates, quiet, fr1);
+  const auto b = flame_filter(updates, noisy, fr2);
+  double diff = 0.0;
+  for (std::size_t k = 0; k < a.aggregated.size(); ++k)
+    diff += std::abs(static_cast<double>(a.aggregated[k]) - b.aggregated[k]);
+  EXPECT_GT(diff, 0.0);
+}
+
+TEST(Flame, SmallGroupsAcceptAll) {
+  runtime::Rng rng(8);
+  const auto updates = benign_updates(2, 8, rng);
+  const FlameResult res = flame_filter(updates, {}, rng);
+  EXPECT_EQ(res.num_rejected, 0u);
+}
+
+TEST(Flame, RejectsEmptyAndRagged) {
+  runtime::Rng rng(9);
+  EXPECT_THROW((void)flame_filter({}, {}, rng), std::invalid_argument);
+  const std::vector<std::vector<float>> ragged{{1.0f}, {1.0f, 2.0f}};
+  EXPECT_THROW((void)flame_filter(ragged, {}, rng), std::invalid_argument);
+}
+
+TEST(Flame, AggregateIsMeanWhenNoClippingNeeded) {
+  runtime::Rng rng(10);
+  std::vector<std::vector<float>> updates{{2.0f, 0.0f}, {4.0f, 0.0f},
+                                          {3.0f, 0.0f}};
+  const FlameResult res = flame_filter(updates, {}, rng);
+  // Median norm = 3; updates 2 and 3 are within/at it, 4 is clipped to 3.
+  // Accepted mean with clipping: (2 + 3 + 3)/3.
+  EXPECT_NEAR(res.aggregated[0], (2.0f + 3.0f + 3.0f) / 3.0f, 1e-5f);
+}
+
+}  // namespace
+}  // namespace groupfel::backdoor

@@ -1,0 +1,90 @@
+// Communication-volume accounting in the trainer (RoundMetrics::
+// cumulative_comm_bytes) and its interaction with the rule's communication
+// factor.
+#include <gtest/gtest.h>
+
+#include "core/experiment.hpp"
+#include "net/network_model.hpp"
+
+namespace groupfel::core {
+namespace {
+
+ExperimentSpec tiny_spec() {
+  ExperimentSpec spec;
+  spec.num_clients = 16;
+  spec.num_edges = 2;
+  spec.alpha = 0.5;
+  spec.size_mean = 16;
+  spec.size_std = 3;
+  spec.size_min = 10;
+  spec.size_max = 24;
+  spec.test_size = 100;
+  spec.mlp_hidden = 16;
+  spec.seed = 41;
+  return spec;
+}
+
+GroupFelConfig tiny_cfg(Method method) {
+  GroupFelConfig cfg;
+  cfg.global_rounds = 3;
+  cfg.group_rounds = 2;
+  cfg.local_epochs = 1;
+  cfg.sampled_groups = 2;
+  cfg.grouping_params.min_group_size = 4;
+  cfg.seed = 5;
+  apply_method(method, cfg);
+  return cfg;
+}
+
+TrainResult run(const Experiment& exp, Method method) {
+  GroupFelConfig cfg = tiny_cfg(method);
+  GroupFelTrainer trainer(
+      exp.topology, cfg,
+      build_cost_model(cost::Task::kCifar, cost_group_op(method)));
+  return trainer.train();
+}
+
+TEST(CommMetrics, BytesGrowMonotonically) {
+  const Experiment exp = build_experiment(tiny_spec());
+  const TrainResult result = run(exp, Method::kFedAvg);
+  ASSERT_GE(result.history.size(), 2u);
+  EXPECT_GT(result.history.front().cumulative_comm_bytes, 0.0);
+  for (std::size_t i = 1; i < result.history.size(); ++i)
+    EXPECT_GT(result.history[i].cumulative_comm_bytes,
+              result.history[i - 1].cumulative_comm_bytes);
+}
+
+TEST(CommMetrics, ScaffoldShipsTwiceTheBytes) {
+  // Same grouping (random) and sampling; SCAFFOLD's communication factor
+  // of 2 must exactly double the accounted volume per round.
+  const Experiment exp = build_experiment(tiny_spec());
+  const TrainResult fedavg = run(exp, Method::kFedAvg);
+  const TrainResult scaffold = run(exp, Method::kScaffold);
+  ASSERT_EQ(fedavg.history.size(), scaffold.history.size());
+  // Identical seeds -> identical groups and samples -> exact 2x ratio.
+  EXPECT_NEAR(scaffold.history.back().cumulative_comm_bytes /
+                  fedavg.history.back().cumulative_comm_bytes,
+              2.0, 1e-9);
+}
+
+TEST(CommMetrics, VolumeMatchesHandComputation) {
+  const Experiment exp = build_experiment(tiny_spec());
+  GroupFelConfig cfg = tiny_cfg(Method::kFedAvg);
+  cfg.sampled_groups = 1000;  // sample ALL groups: deterministic volume
+  cfg.global_rounds = 1;
+  GroupFelTrainer trainer(
+      exp.topology, cfg,
+      build_cost_model(cost::Task::kCifar, cost::GroupOp::kSecAgg));
+  const std::size_t params = exp.topology.model_factory().param_count();
+  const double model_b = net::model_bytes(params, 1.0);
+  double expected = 0.0;
+  for (const auto& g : trainer.groups())
+    expected += static_cast<double>(cfg.group_rounds) *
+                    static_cast<double>(g.clients.size()) * 2.0 * model_b +
+                2.0 * model_b;
+  const TrainResult result = trainer.train();
+  EXPECT_NEAR(result.history.back().cumulative_comm_bytes, expected, 1.0);
+}
+
+}  // namespace
+}  // namespace groupfel::core

@@ -1,0 +1,117 @@
+#include "compression/compressor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "runtime/rng.hpp"
+
+namespace groupfel::compression {
+namespace {
+
+std::vector<float> random_update(std::size_t n, std::uint64_t seed) {
+  runtime::Rng rng(seed);
+  std::vector<float> v(n);
+  for (auto& x : v) x = static_cast<float>(rng.normal());
+  return v;
+}
+
+TEST(Compression, DenseQuantizationRoundTripsApproximately) {
+  const auto v = random_update(512, 1);
+  const auto c = compress(v, {.top_k = 0, .quantize = true});
+  const auto back = decompress(c);
+  ASSERT_EQ(back.size(), v.size());
+  // int8 symmetric quantization: relative error well under 1%.
+  EXPECT_LT(reconstruction_error(v, back), 0.01);
+}
+
+TEST(Compression, UnquantizedDenseIsExact) {
+  const auto v = random_update(128, 2);
+  const auto c = compress(v, {.top_k = 0, .quantize = false});
+  const auto back = decompress(c);
+  for (std::size_t i = 0; i < v.size(); ++i) EXPECT_EQ(back[i], v[i]);
+}
+
+TEST(Compression, TopKKeepsLargestMagnitudes) {
+  std::vector<float> v{0.1f, -5.0f, 0.2f, 3.0f, -0.05f};
+  const auto c = compress(v, {.top_k = 2, .quantize = false});
+  const auto back = decompress(c);
+  EXPECT_NEAR(back[1], -5.0f, 1e-6f);
+  EXPECT_NEAR(back[3], 3.0f, 1e-6f);
+  EXPECT_EQ(back[0], 0.0f);
+  EXPECT_EQ(back[2], 0.0f);
+  EXPECT_EQ(back[4], 0.0f);
+}
+
+TEST(Compression, TopKPlusQuantization) {
+  const auto v = random_update(1024, 3);
+  const auto c = compress(v, {.top_k = 100, .quantize = true});
+  const auto back = decompress(c);
+  // Kept coordinates are approximately right.
+  std::size_t nonzero = 0;
+  for (float x : back) nonzero += (x != 0.0f);
+  EXPECT_LE(nonzero, 100u);
+}
+
+TEST(Compression, WireBytesShrinkWithCompression) {
+  const auto v = random_update(4096, 4);
+  const std::size_t raw = 4096 * 4;
+  const auto dense_q = compress(v, {.top_k = 0, .quantize = true});
+  const auto sparse_q = compress(v, {.top_k = 256, .quantize = true});
+  EXPECT_LT(dense_q.wire_bytes(), raw / 3);
+  EXPECT_LT(sparse_q.wire_bytes(), dense_q.wire_bytes());
+}
+
+TEST(Compression, TopKLargerThanVectorFallsBackToDense) {
+  const auto v = random_update(16, 5);
+  const auto c = compress(v, {.top_k = 100, .quantize = true});
+  EXPECT_TRUE(c.indices.empty());
+  EXPECT_EQ(decompress(c).size(), 16u);
+}
+
+TEST(Compression, AllZeroUpdate) {
+  const std::vector<float> v(64, 0.0f);
+  const auto c = compress(v, {.top_k = 8, .quantize = true});
+  EXPECT_EQ(c.scale, 0.0f);
+  const auto back = decompress(c);
+  for (float x : back) EXPECT_EQ(x, 0.0f);
+}
+
+TEST(Compression, ErrorDecreasesWithK) {
+  const auto v = random_update(1000, 6);
+  double prev = 1.0;
+  for (std::size_t k : {50u, 200u, 800u}) {
+    const auto c = compress(v, {.top_k = k, .quantize = true});
+    const double err = reconstruction_error(v, decompress(c));
+    EXPECT_LT(err, prev + 1e-9);
+    prev = err;
+  }
+}
+
+TEST(Compression, DecompressRejectsMalformed) {
+  CompressedUpdate bad;
+  bad.dense_size = 4;
+  bad.scale = 1.0f;
+  bad.quantized = true;
+  bad.codes = {1, 2};  // retained should be 4
+  EXPECT_THROW((void)decompress(bad), std::invalid_argument);
+
+  CompressedUpdate oob;
+  oob.dense_size = 4;
+  oob.scale = 1.0f;
+  oob.quantized = true;
+  oob.indices = {9};
+  oob.codes = {1};
+  EXPECT_THROW((void)decompress(oob), std::invalid_argument);
+}
+
+TEST(Compression, ReconstructionErrorHelper) {
+  const std::vector<float> a{3.0f, 4.0f};
+  const std::vector<float> zero{0.0f, 0.0f};
+  EXPECT_DOUBLE_EQ(reconstruction_error(a, a), 0.0);
+  EXPECT_DOUBLE_EQ(reconstruction_error(a, zero), 1.0);
+  EXPECT_DOUBLE_EQ(reconstruction_error(zero, zero), 0.0);
+  const std::vector<float> short_v{1.0f};
+  EXPECT_THROW((void)reconstruction_error(a, short_v), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace groupfel::compression

@@ -1,0 +1,113 @@
+// Cross-checks Conv2d's forward pass against an independently written naive
+// reference over a parameterized sweep of shapes. The reference is written
+// in a deliberately different style (explicit padding buffer) so a shared
+// indexing bug cannot hide.
+#include <gtest/gtest.h>
+
+#include "nn/layer.hpp"
+
+namespace groupfel::nn {
+namespace {
+
+/// Naive reference: materialize the zero-padded input, then correlate.
+Tensor reference_conv(const Tensor& x, const Tensor& w, const Tensor& b,
+                      std::size_t k, std::size_t pad) {
+  const std::size_t n = x.dim(0), cin = x.dim(1), h = x.dim(2), wd = x.dim(3);
+  const std::size_t cout = w.dim(0);
+  const std::size_t hp = h + 2 * pad, wp = wd + 2 * pad;
+
+  Tensor padded({n, cin, hp, wp});
+  for (std::size_t ni = 0; ni < n; ++ni)
+    for (std::size_t ci = 0; ci < cin; ++ci)
+      for (std::size_t y = 0; y < h; ++y)
+        for (std::size_t xx = 0; xx < wd; ++xx)
+          padded.at4(ni, ci, y + pad, xx + pad) = x.at4(ni, ci, y, xx);
+
+  const std::size_t ho = hp - k + 1, wo = wp - k + 1;
+  Tensor out({n, cout, ho, wo});
+  for (std::size_t ni = 0; ni < n; ++ni)
+    for (std::size_t co = 0; co < cout; ++co)
+      for (std::size_t oy = 0; oy < ho; ++oy)
+        for (std::size_t ox = 0; ox < wo; ++ox) {
+          double acc = static_cast<double>(b[co]);
+          for (std::size_t ci = 0; ci < cin; ++ci)
+            for (std::size_t ky = 0; ky < k; ++ky)
+              for (std::size_t kx = 0; kx < k; ++kx)
+                acc += static_cast<double>(
+                           padded.at4(ni, ci, oy + ky, ox + kx)) *
+                       static_cast<double>(w.at4(co, ci, ky, kx));
+          out.at4(ni, co, oy, ox) = static_cast<float>(acc);
+        }
+  return out;
+}
+
+struct ConvCase {
+  std::size_t cin, cout, k, pad, h, w, batch;
+};
+
+class ConvReferenceTest : public ::testing::TestWithParam<ConvCase> {};
+
+TEST_P(ConvReferenceTest, ForwardMatchesNaiveReference) {
+  const ConvCase c = GetParam();
+  runtime::Rng rng(c.cin * 131 + c.cout * 17 + c.k);
+  Conv2d conv(c.cin, c.cout, c.k, c.pad);
+  conv.init(rng);
+
+  // Extract the layer's parameters to feed the reference.
+  Tensor weight, bias;
+  int visit = 0;
+  conv.for_each_param([&](Tensor& p, Tensor&) {
+    if (visit++ == 0)
+      weight = p;
+    else
+      bias = p;
+  });
+
+  Tensor x({c.batch, c.cin, c.h, c.w});
+  for (auto& v : x.data()) v = static_cast<float>(rng.normal());
+
+  const Tensor got = conv.forward(x, false);
+  const Tensor want = reference_conv(x, weight, bias, c.k, c.pad);
+  ASSERT_EQ(got.shape(), want.shape());
+  for (std::size_t i = 0; i < got.size(); ++i)
+    EXPECT_NEAR(got[i], want[i], 1e-4f) << "at flat index " << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, ConvReferenceTest,
+    ::testing::Values(ConvCase{1, 1, 1, 0, 4, 4, 1},    // pointwise
+                      ConvCase{1, 2, 3, 0, 5, 5, 2},    // valid conv
+                      ConvCase{3, 4, 3, 1, 6, 6, 2},    // same padding
+                      ConvCase{2, 3, 5, 2, 8, 8, 1},    // big kernel
+                      ConvCase{4, 2, 3, 1, 5, 7, 3},    // non-square input
+                      ConvCase{1, 8, 3, 1, 16, 16, 1},  // many filters
+                      ConvCase{8, 1, 1, 0, 3, 3, 2}));  // channel mix only
+
+TEST(ConvReference, GradientAccumulationMatchesTwoPasses) {
+  // Backward accumulates: two backward passes double the gradients.
+  runtime::Rng rng(5);
+  Conv2d conv(2, 3, 3, 1);
+  conv.init(rng);
+  Tensor x({1, 2, 5, 5});
+  for (auto& v : x.data()) v = static_cast<float>(rng.normal());
+  Tensor g({1, 3, 5, 5});
+  for (auto& v : g.data()) v = static_cast<float>(rng.normal());
+
+  (void)conv.forward(x, true);
+  (void)conv.backward(g);
+  std::vector<float> once;
+  conv.for_each_param([&](Tensor&, Tensor& grad) {
+    once.insert(once.end(), grad.data().begin(), grad.data().end());
+  });
+  (void)conv.forward(x, true);
+  (void)conv.backward(g);
+  std::vector<float> twice;
+  conv.for_each_param([&](Tensor&, Tensor& grad) {
+    twice.insert(twice.end(), grad.data().begin(), grad.data().end());
+  });
+  for (std::size_t i = 0; i < once.size(); ++i)
+    EXPECT_NEAR(twice[i], 2.0f * once[i], 1e-4f);
+}
+
+}  // namespace
+}  // namespace groupfel::nn

@@ -1,0 +1,87 @@
+#include "core/evaluator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/synthetic.hpp"
+#include "nn/optimizer.hpp"
+#include "nn/models.hpp"
+
+namespace groupfel::core {
+namespace {
+
+TEST(Evaluator, RandomModelNearChance) {
+  runtime::Rng rng(1);
+  data::SyntheticSpec spec;
+  spec.num_classes = 10;
+  spec.sample_shape = {16};
+  const data::DataSet test = data::make_synthetic(spec, 2000, rng);
+  nn::Model m = nn::make_mlp(16, 32, 10);
+  runtime::Rng irng(2);
+  m.init(irng);
+  const EvalResult res = evaluate(m, test);
+  EXPECT_NEAR(res.accuracy, 0.1, 0.08);
+  // He-initialized random logits are not uniform, so the loss sits above
+  // log(10) but in its vicinity.
+  EXPECT_NEAR(res.loss, std::log(10.0), 1.5);
+}
+
+TEST(Evaluator, EmptyTestSetIsZero) {
+  data::DataSet empty;
+  nn::Model m = nn::make_mlp(4, 8, 2);
+  const EvalResult res = evaluate(m, empty);
+  EXPECT_DOUBLE_EQ(res.accuracy, 0.0);
+}
+
+TEST(Evaluator, BatchSizeDoesNotChangeResult) {
+  runtime::Rng rng(3);
+  data::SyntheticSpec spec;
+  spec.num_classes = 5;
+  spec.sample_shape = {8};
+  const data::DataSet test = data::make_synthetic(spec, 333, rng);
+  nn::Model m = nn::make_mlp(8, 16, 5);
+  runtime::Rng irng(4);
+  m.init(irng);
+  const EvalResult a = evaluate(m, test, 16);
+  const EvalResult b = evaluate(m, test, 1000);
+  EXPECT_DOUBLE_EQ(a.accuracy, b.accuracy);
+  EXPECT_NEAR(a.loss, b.loss, 1e-9);
+}
+
+TEST(Evaluator, SeparableTaskReachesHighAccuracy) {
+  // An easy task (tiny noise) should be almost perfectly classified after
+  // brief training; evaluator must report it.
+  runtime::Rng rng(5);
+  data::SyntheticSpec spec;
+  spec.num_classes = 3;
+  spec.sample_shape = {8};
+  spec.noise_scale = 0.05;
+  spec.label_noise = 0.0;
+  const data::DataSet train = data::make_synthetic(spec, 600, rng);
+  runtime::Rng rng2(6);
+  const data::DataSet test = data::make_synthetic(spec, 300, rng2);
+
+  nn::Model m = nn::make_mlp(8, 16, 3);
+  runtime::Rng irng(7);
+  m.init(irng);
+  nn::SgdOptimizer opt({.lr = 0.1f});
+  std::vector<std::size_t> idx(train.size());
+  for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+  runtime::Rng srng(8);
+  for (int epoch = 0; epoch < 5; ++epoch) {
+    srng.shuffle(idx);
+    for (std::size_t s = 0; s < idx.size(); s += 32) {
+      const std::size_t e = std::min(idx.size(), s + 32);
+      auto batch = train.gather({idx.data() + s, e - s});
+      m.zero_grad();
+      const auto logits = m.forward(batch.features, true);
+      m.backward(nn::softmax_cross_entropy(logits, batch.labels).grad);
+      opt.step(m);
+    }
+  }
+  EXPECT_GT(evaluate(m, test).accuracy, 0.95);
+}
+
+}  // namespace
+}  // namespace groupfel::core

@@ -1,0 +1,70 @@
+#include "algorithms/fedclar.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "runtime/rng.hpp"
+
+namespace groupfel::algorithms {
+namespace {
+
+TEST(FedClar, TwoOppositeDirectionsFormTwoClusters) {
+  runtime::Rng rng(1);
+  std::vector<std::vector<float>> updates;
+  for (int i = 0; i < 5; ++i) {
+    std::vector<float> u(16);
+    for (auto& v : u) v = 1.0f + 0.05f * static_cast<float>(rng.normal());
+    updates.push_back(u);
+  }
+  for (int i = 0; i < 5; ++i) {
+    std::vector<float> u(16);
+    for (auto& v : u) v = -1.0f + 0.05f * static_cast<float>(rng.normal());
+    updates.push_back(u);
+  }
+  const auto ids = fedclar_cluster(updates, 0.3);
+  for (int i = 1; i < 5; ++i) EXPECT_EQ(ids[static_cast<std::size_t>(i)], ids[0]);
+  for (int i = 6; i < 10; ++i) EXPECT_EQ(ids[static_cast<std::size_t>(i)], ids[5]);
+  EXPECT_NE(ids[0], ids[5]);
+}
+
+TEST(FedClar, LargeThresholdMergesEverything) {
+  runtime::Rng rng(2);
+  std::vector<std::vector<float>> updates(6, std::vector<float>(8));
+  for (auto& u : updates)
+    for (auto& v : u) v = static_cast<float>(rng.normal());
+  const auto ids = fedclar_cluster(updates, 2.5);  // max cosine distance = 2
+  for (auto id : ids) EXPECT_EQ(id, ids[0]);
+}
+
+TEST(FedClar, ZeroThresholdKeepsAllSeparate) {
+  runtime::Rng rng(3);
+  std::vector<std::vector<float>> updates(4, std::vector<float>(8));
+  for (auto& u : updates)
+    for (auto& v : u) v = static_cast<float>(rng.normal());
+  const auto ids = fedclar_cluster(updates, 0.0);
+  std::set<std::size_t> uniq(ids.begin(), ids.end());
+  EXPECT_EQ(uniq.size(), 4u);
+}
+
+TEST(FedClar, SingleClient) {
+  const std::vector<std::vector<float>> updates{{1.0f, 2.0f}};
+  const auto ids = fedclar_cluster(updates, 0.3);
+  ASSERT_EQ(ids.size(), 1u);
+  EXPECT_EQ(ids[0], 0u);
+}
+
+TEST(FedClar, IdsAreDense) {
+  runtime::Rng rng(4);
+  std::vector<std::vector<float>> updates(7, std::vector<float>(8));
+  for (auto& u : updates)
+    for (auto& v : u) v = static_cast<float>(rng.normal());
+  const auto ids = fedclar_cluster(updates, 0.1);
+  std::size_t max_id = 0;
+  for (auto id : ids) max_id = std::max(max_id, id);
+  std::set<std::size_t> uniq(ids.begin(), ids.end());
+  EXPECT_EQ(uniq.size(), max_id + 1);
+}
+
+}  // namespace
+}  // namespace groupfel::algorithms

@@ -1,0 +1,119 @@
+#include "secagg/field.hpp"
+
+#include <gtest/gtest.h>
+
+#include "runtime/rng.hpp"
+
+namespace groupfel::secagg {
+namespace {
+
+TEST(Field, AdditionWrapsAtPrime) {
+  const Fe a(kFieldPrime - 1);
+  const Fe b(2);
+  EXPECT_EQ((a + b).value(), 1u);
+}
+
+TEST(Field, SubtractionWraps) {
+  const Fe a(1), b(3);
+  EXPECT_EQ((a - b).value(), kFieldPrime - 2);
+}
+
+TEST(Field, AdditiveInverse) {
+  const Fe a(12345);
+  EXPECT_EQ((a + a.neg()).value(), 0u);
+  EXPECT_EQ(Fe(0).neg().value(), 0u);
+}
+
+TEST(Field, ConstructorReducesLargeValues) {
+  // 2^61 - 1 reduces to 0; 2^61 reduces to 1.
+  EXPECT_EQ(Fe(kFieldPrime).value(), 0u);
+  EXPECT_EQ(Fe(kFieldPrime + 1).value(), 1u);
+  EXPECT_EQ(Fe(~0ull).value(), (~0ull) % kFieldPrime);
+}
+
+TEST(Field, MultiplicationSmallValues) {
+  EXPECT_EQ((Fe(7) * Fe(6)).value(), 42u);
+}
+
+TEST(Field, MultiplicationMatchesInt128Reference) {
+  runtime::Rng rng(1);
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint64_t a = rng.next_below(kFieldPrime);
+    const std::uint64_t b = rng.next_below(kFieldPrime);
+    const auto want = static_cast<std::uint64_t>(
+        (static_cast<__uint128_t>(a) * b) % kFieldPrime);
+    EXPECT_EQ((Fe(a) * Fe(b)).value(), want);
+  }
+}
+
+TEST(Field, PowMatchesRepeatedMultiplication) {
+  Fe acc(1);
+  const Fe base(123456789);
+  for (std::uint64_t e = 0; e < 20; ++e) {
+    EXPECT_EQ(fe_pow(base, e).value(), acc.value());
+    acc *= base;
+  }
+}
+
+TEST(Field, FermatLittleTheorem) {
+  // a^(p-1) == 1 for a != 0.
+  for (std::uint64_t a : {std::uint64_t{2}, std::uint64_t{3},
+                          std::uint64_t{999999937}, kFieldPrime - 1}) {
+    EXPECT_EQ(fe_pow(Fe(a), kFieldPrime - 1).value(), 1u);
+  }
+}
+
+TEST(Field, InverseIsInverse) {
+  runtime::Rng rng(2);
+  for (int i = 0; i < 200; ++i) {
+    const Fe a(1 + rng.next_below(kFieldPrime - 1));
+    EXPECT_EQ((a * fe_inv(a)).value(), 1u);
+  }
+}
+
+TEST(Field, InverseOfZeroThrows) {
+  EXPECT_THROW((void)fe_inv(Fe(0)), std::domain_error);
+}
+
+TEST(Codec, RoundTripsPositiveAndNegative) {
+  FixedPointCodec codec;
+  for (float v : {0.0f, 1.0f, -1.0f, 0.5f, -1234.0625f, 3.14159f}) {
+    const double back = codec.decode(codec.encode(v));
+    EXPECT_NEAR(back, static_cast<double>(v), 1.0 / (1 << 15));
+  }
+}
+
+TEST(Codec, PrecisionScalesWithFracBits) {
+  FixedPointCodec coarse{.frac_bits = 4};
+  FixedPointCodec fine{.frac_bits = 24};
+  const float v = 0.123456f;
+  const double coarse_err =
+      std::abs(coarse.decode(coarse.encode(v)) - static_cast<double>(v));
+  const double fine_err =
+      std::abs(fine.decode(fine.encode(v)) - static_cast<double>(v));
+  EXPECT_LT(fine_err, coarse_err);
+}
+
+TEST(Codec, SumsOfEncodedValuesDecodeToSums) {
+  // The property secure aggregation relies on: Enc(a) + Enc(b) decodes to
+  // a + b, including sign mixes.
+  FixedPointCodec codec;
+  const float a = 2.25f, b = -5.75f;
+  const Fe sum = codec.encode(a) + codec.encode(b);
+  EXPECT_NEAR(codec.decode(sum), static_cast<double>(a + b), 1e-4);
+}
+
+TEST(Codec, VectorHelpers) {
+  FixedPointCodec codec;
+  const std::vector<float> in{1.0f, -2.0f, 0.25f};
+  std::vector<Fe> enc;
+  codec.encode_vector(in, enc);
+  std::vector<float> out;
+  codec.decode_vector(enc, out);
+  ASSERT_EQ(out.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i)
+    EXPECT_NEAR(out[i], in[i], 1e-4f);
+}
+
+}  // namespace
+}  // namespace groupfel::secagg

@@ -1,0 +1,105 @@
+// Grouping property sweep: across client counts, skew levels, and
+// constraint settings, every algorithm must produce valid partitions and
+// CoV-Grouping must not lose to random grouping on its own criterion.
+#include <gtest/gtest.h>
+
+#include "data/partition.hpp"
+#include "data/synthetic.hpp"
+#include "grouping/grouping.hpp"
+
+namespace groupfel::grouping {
+namespace {
+
+data::LabelMatrix make_matrix(std::size_t clients, double alpha,
+                              std::size_t labels, std::uint64_t seed) {
+  runtime::Rng rng(seed);
+  data::SyntheticSpec spec;
+  spec.num_classes = labels;
+  spec.sample_shape = {1};
+  spec.label_noise = 0.0;
+  auto pool = std::make_shared<data::DataSet>(
+      data::make_synthetic(spec, clients * 50, rng));
+  data::PartitionSpec part;
+  part.num_clients = clients;
+  part.alpha = alpha;
+  part.size_mean = 25;
+  part.size_std = 8;
+  part.size_min = 8;
+  part.size_max = 45;
+  auto shards = data::dirichlet_partition(pool, part, rng);
+  return data::LabelMatrix::from_shards(shards);
+}
+
+struct Sweep {
+  std::size_t clients;
+  double alpha;
+  std::size_t labels;
+  std::size_t min_gs;
+  double max_cov;
+};
+
+class GroupingSweepTest : public ::testing::TestWithParam<Sweep> {};
+
+TEST_P(GroupingSweepTest, AllMethodsPartitionCorrectly) {
+  const Sweep sw = GetParam();
+  const auto matrix = make_matrix(sw.clients, sw.alpha, sw.labels, 7);
+  GroupingParams params;
+  params.min_group_size = sw.min_gs;
+  params.max_cov = sw.max_cov;
+  for (const auto method :
+       {GroupingMethod::kRandom, GroupingMethod::kCdg, GroupingMethod::kKldg,
+        GroupingMethod::kCov}) {
+    runtime::Rng rng(11);
+    const Grouping groups = form_groups(method, matrix, params, rng);
+    EXPECT_NO_THROW(validate_partition(groups, sw.clients))
+        << to_string(method);
+  }
+}
+
+TEST_P(GroupingSweepTest, CovgNeverWorseThanRandomOnCov) {
+  const Sweep sw = GetParam();
+  const auto matrix = make_matrix(sw.clients, sw.alpha, sw.labels, 13);
+  GroupingParams params;
+  params.min_group_size = sw.min_gs;
+  params.max_cov = sw.max_cov;
+  runtime::Rng r1(17), r2(17);
+  const auto cov_summary = summarize(matrix, cov_grouping(matrix, params, r1));
+  const auto rnd_summary =
+      summarize(matrix, random_grouping(matrix, params, r2));
+  EXPECT_LE(cov_summary.avg_cov, rnd_summary.avg_cov + 0.02);
+}
+
+TEST_P(GroupingSweepTest, CovgIsDeterministicGivenRng) {
+  const Sweep sw = GetParam();
+  const auto matrix = make_matrix(sw.clients, sw.alpha, sw.labels, 19);
+  GroupingParams params;
+  params.min_group_size = sw.min_gs;
+  params.max_cov = sw.max_cov;
+  runtime::Rng r1(23), r2(23);
+  const Grouping a = cov_grouping(matrix, params, r1);
+  const Grouping b = cov_grouping(matrix, params, r2);
+  EXPECT_EQ(a, b);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweeps, GroupingSweepTest,
+    ::testing::Values(Sweep{12, 0.05, 10, 3, 0.5},   // tiny edge
+                      Sweep{40, 0.05, 10, 5, 0.5},   // heavy skew
+                      Sweep{40, 1.0, 10, 5, 0.5},    // mild skew
+                      Sweep{60, 0.1, 35, 5, 1.0},    // SC-like label count
+                      Sweep{60, 0.1, 10, 15, 1e9},   // big MinGS, no MaxCoV
+                      Sweep{25, 0.5, 3, 4, 0.2},     // few labels, tight CoV
+                      Sweep{80, 0.02, 10, 8, 0.8})); // extreme skew
+
+TEST(GroupingProperty, DifferentRngSeedsGiveDifferentCovgGroups) {
+  const auto matrix = make_matrix(50, 0.1, 10, 29);
+  GroupingParams params;
+  params.min_group_size = 5;
+  runtime::Rng r1(1), r2(2);
+  const Grouping a = cov_grouping(matrix, params, r1);
+  const Grouping b = cov_grouping(matrix, params, r2);
+  EXPECT_NE(a, b);  // random first clients (the §6.1 regrouping property)
+}
+
+}  // namespace
+}  // namespace groupfel::grouping

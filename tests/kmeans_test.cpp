@@ -1,0 +1,69 @@
+#include "grouping/kmeans.hpp"
+
+#include <gtest/gtest.h>
+
+namespace groupfel::grouping {
+namespace {
+
+TEST(KMeans, RecoversWellSeparatedClusters) {
+  std::vector<std::vector<double>> points;
+  // Two tight blobs around (0,0) and (10,10).
+  runtime::Rng rng(1);
+  for (int i = 0; i < 20; ++i)
+    points.push_back({rng.normal() * 0.1, rng.normal() * 0.1});
+  for (int i = 0; i < 20; ++i)
+    points.push_back({10 + rng.normal() * 0.1, 10 + rng.normal() * 0.1});
+
+  runtime::Rng krng(2);
+  const KMeansResult res = kmeans(points, 2, krng);
+  // All of the first 20 share a cluster, all of the last 20 the other.
+  for (int i = 1; i < 20; ++i) EXPECT_EQ(res.assignment[i], res.assignment[0]);
+  for (int i = 21; i < 40; ++i)
+    EXPECT_EQ(res.assignment[i], res.assignment[20]);
+  EXPECT_NE(res.assignment[0], res.assignment[20]);
+  EXPECT_LT(res.inertia, 5.0);
+}
+
+TEST(KMeans, KClampedToN) {
+  const std::vector<std::vector<double>> points{{0.0}, {1.0}};
+  runtime::Rng rng(3);
+  const KMeansResult res = kmeans(points, 10, rng);
+  EXPECT_LE(res.centroids.size(), 2u);
+}
+
+TEST(KMeans, SinglePoint) {
+  const std::vector<std::vector<double>> points{{3.0, 4.0}};
+  runtime::Rng rng(4);
+  const KMeansResult res = kmeans(points, 1, rng);
+  EXPECT_EQ(res.assignment[0], 0u);
+  EXPECT_DOUBLE_EQ(res.inertia, 0.0);
+}
+
+TEST(KMeans, IdenticalPointsZeroInertia) {
+  const std::vector<std::vector<double>> points(7, {2.0, 2.0});
+  runtime::Rng rng(5);
+  const KMeansResult res = kmeans(points, 3, rng);
+  EXPECT_DOUBLE_EQ(res.inertia, 0.0);
+}
+
+TEST(KMeans, RejectsBadInput) {
+  runtime::Rng rng(6);
+  EXPECT_THROW((void)kmeans({}, 2, rng), std::invalid_argument);
+  EXPECT_THROW((void)kmeans({{1.0}}, 0, rng), std::invalid_argument);
+  EXPECT_THROW((void)kmeans({{1.0}, {1.0, 2.0}}, 1, rng),
+               std::invalid_argument);
+}
+
+TEST(KMeans, InertiaNoWorseThanSingleCluster) {
+  runtime::Rng rng(7);
+  std::vector<std::vector<double>> points;
+  for (int i = 0; i < 30; ++i)
+    points.push_back({rng.normal() * 3, rng.normal() * 3});
+  runtime::Rng r1(8), r2(8);
+  const double inertia1 = kmeans(points, 1, r1).inertia;
+  const double inertia4 = kmeans(points, 4, r2).inertia;
+  EXPECT_LE(inertia4, inertia1);
+}
+
+}  // namespace
+}  // namespace groupfel::grouping

@@ -1,0 +1,67 @@
+#include "data/label_matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.hpp"
+
+namespace groupfel::data {
+namespace {
+
+LabelMatrix sample_matrix() {
+  return LabelMatrix({{3, 0, 1}, {0, 5, 0}, {2, 2, 2}}, 3);
+}
+
+TEST(LabelMatrix, BasicAccessors) {
+  const LabelMatrix m = sample_matrix();
+  EXPECT_EQ(m.num_clients(), 3u);
+  EXPECT_EQ(m.num_labels(), 3u);
+  EXPECT_EQ(m.row(1)[1], 5u);
+  EXPECT_EQ(m.client_total(0), 4u);
+  EXPECT_EQ(m.client_total(2), 6u);
+}
+
+TEST(LabelMatrix, GlobalCounts) {
+  const LabelMatrix m = sample_matrix();
+  const auto g = m.global_counts();
+  EXPECT_EQ(g[0], 5u);
+  EXPECT_EQ(g[1], 7u);
+  EXPECT_EQ(g[2], 3u);
+}
+
+TEST(LabelMatrix, Submatrix) {
+  const LabelMatrix m = sample_matrix();
+  const std::vector<std::size_t> pick{2, 0};
+  const LabelMatrix sub = m.submatrix(pick);
+  EXPECT_EQ(sub.num_clients(), 2u);
+  EXPECT_EQ(sub.row(0)[0], 2u);  // row of client 2
+  EXPECT_EQ(sub.row(1)[0], 3u);  // row of client 0
+}
+
+TEST(LabelMatrix, RejectsRaggedRows) {
+  EXPECT_THROW(LabelMatrix({{1, 2}, {1}}, 2), std::invalid_argument);
+}
+
+TEST(LabelMatrix, FromShardsMatchesCounts) {
+  runtime::Rng rng(1);
+  SyntheticSpec spec;
+  spec.num_classes = 4;
+  spec.label_noise = 0.0;
+  auto ds = std::make_shared<DataSet>(make_synthetic(spec, 40, rng));
+  std::vector<ClientShard> shards;
+  shards.emplace_back(ds, std::vector<std::size_t>{0, 1, 2, 3});    // one of each
+  shards.emplace_back(ds, std::vector<std::size_t>{4, 8, 12});      // three label-0
+  const LabelMatrix m = LabelMatrix::from_shards(shards);
+  EXPECT_EQ(m.num_clients(), 2u);
+  EXPECT_EQ(m.num_labels(), 4u);
+  EXPECT_EQ(m.row(0)[0], 1u);
+  EXPECT_EQ(m.row(1)[0], 3u);
+  EXPECT_EQ(m.row(1)[1], 0u);
+}
+
+TEST(LabelMatrix, EmptyShardsGiveEmptyMatrix) {
+  const LabelMatrix m = LabelMatrix::from_shards({});
+  EXPECT_EQ(m.num_clients(), 0u);
+}
+
+}  // namespace
+}  // namespace groupfel::data

@@ -1,0 +1,267 @@
+// Layer tests: shape handling plus numerical gradient checks of every
+// hand-written backward pass (the core correctness property of the NN
+// substrate).
+#include "nn/layer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "nn/gradcheck.hpp"
+#include "nn/models.hpp"
+
+namespace groupfel::nn {
+namespace {
+
+Tensor random_input(runtime::Rng& rng, std::vector<std::size_t> shape) {
+  Tensor t(std::move(shape));
+  for (auto& v : t.data()) v = static_cast<float>(rng.normal());
+  return t;
+}
+
+std::vector<std::int32_t> random_labels(runtime::Rng& rng, std::size_t n,
+                                        std::size_t classes) {
+  std::vector<std::int32_t> labels(n);
+  for (auto& l : labels)
+    l = static_cast<std::int32_t>(rng.next_below(classes));
+  return labels;
+}
+
+TEST(Linear, ForwardShapeAndBias) {
+  Linear layer(3, 2);
+  // Zero weights + zero bias -> zero output.
+  Tensor x({4, 3}, std::vector<float>(12, 1.0f));
+  const Tensor y = layer.forward(x, false);
+  EXPECT_EQ(y.dim(0), 4u);
+  EXPECT_EQ(y.dim(1), 2u);
+  for (std::size_t i = 0; i < y.size(); ++i) EXPECT_EQ(y[i], 0.0f);
+}
+
+TEST(Linear, RejectsWrongInputWidth) {
+  Linear layer(3, 2);
+  Tensor x({4, 5});
+  EXPECT_THROW((void)layer.forward(x, false), std::invalid_argument);
+}
+
+TEST(Linear, BackwardRequiresTrainForward) {
+  Linear layer(3, 2);
+  Tensor g({4, 2});
+  EXPECT_THROW((void)layer.backward(g), std::logic_error);
+}
+
+TEST(Linear, CloneSharesParamsNotCache) {
+  runtime::Rng rng(1);
+  Linear layer(3, 2);
+  layer.init(rng);
+  auto copy = layer.clone();
+  // Same forward output.
+  Tensor x = random_input(rng, {2, 3});
+  const Tensor y1 = layer.forward(x, false);
+  const Tensor y2 = copy->forward(x, false);
+  for (std::size_t i = 0; i < y1.size(); ++i) EXPECT_EQ(y1[i], y2[i]);
+}
+
+TEST(Linear, ParamCount) {
+  Linear layer(3, 2);
+  EXPECT_EQ(layer.param_count(), 3u * 2 + 2);
+}
+
+TEST(ReLU, ClampsNegatives) {
+  ReLU relu;
+  Tensor x({1, 4}, {-1.0f, 0.0f, 2.0f, -0.5f});
+  const Tensor y = relu.forward(x, false);
+  EXPECT_EQ(y[0], 0.0f);
+  EXPECT_EQ(y[1], 0.0f);
+  EXPECT_EQ(y[2], 2.0f);
+  EXPECT_EQ(y[3], 0.0f);
+}
+
+TEST(ReLU, GradientMasksNegatives) {
+  ReLU relu;
+  Tensor x({1, 3}, {-1.0f, 1.0f, 2.0f});
+  (void)relu.forward(x, true);
+  Tensor g({1, 3}, {5.0f, 5.0f, 5.0f});
+  const Tensor gi = relu.backward(g);
+  EXPECT_EQ(gi[0], 0.0f);
+  EXPECT_EQ(gi[1], 5.0f);
+  EXPECT_EQ(gi[2], 5.0f);
+}
+
+TEST(Flatten, RoundTripsShape) {
+  Flatten flat;
+  Tensor x({2, 3, 4, 5});
+  const Tensor y = flat.forward(x, true);
+  EXPECT_EQ(y.dim(0), 2u);
+  EXPECT_EQ(y.dim(1), 60u);
+  Tensor g({2, 60});
+  const Tensor gi = flat.backward(g);
+  EXPECT_EQ(gi.shape(), x.shape());
+}
+
+TEST(Conv2d, OutputShapeWithPadding) {
+  Conv2d conv(3, 8, 3, 1);
+  Tensor x({2, 3, 8, 8});
+  const Tensor y = conv.forward(x, false);
+  EXPECT_EQ(y.dim(0), 2u);
+  EXPECT_EQ(y.dim(1), 8u);
+  EXPECT_EQ(y.dim(2), 8u);  // same-padding with k=3, pad=1
+  EXPECT_EQ(y.dim(3), 8u);
+}
+
+TEST(Conv2d, OutputShapeNoPadding) {
+  Conv2d conv(1, 2, 3, 0);
+  Tensor x({1, 1, 5, 5});
+  const Tensor y = conv.forward(x, false);
+  EXPECT_EQ(y.dim(2), 3u);
+  EXPECT_EQ(y.dim(3), 3u);
+}
+
+TEST(Conv2d, IdentityKernelCopiesInput) {
+  Conv2d conv(1, 1, 1, 0);
+  // First visited tensor is the kernel, second the bias.
+  int visit = 0;
+  conv.for_each_param([&](Tensor& p, Tensor&) {
+    p[0] = (visit++ == 0) ? 1.0f : 0.0f;
+  });
+  runtime::Rng rng(3);
+  Tensor x = random_input(rng, {1, 1, 4, 4});
+  const Tensor y = conv.forward(x, false);
+  for (std::size_t i = 0; i < x.size(); ++i) EXPECT_FLOAT_EQ(y[i], x[i]);
+}
+
+TEST(MaxPool2d, PicksMaxima) {
+  MaxPool2d pool(2);
+  Tensor x({1, 1, 2, 2}, {1.0f, 5.0f, 3.0f, 2.0f});
+  const Tensor y = pool.forward(x, false);
+  EXPECT_EQ(y.size(), 1u);
+  EXPECT_EQ(y[0], 5.0f);
+}
+
+TEST(MaxPool2d, GradientFlowsToArgmaxOnly) {
+  MaxPool2d pool(2);
+  Tensor x({1, 1, 2, 2}, {1.0f, 5.0f, 3.0f, 2.0f});
+  (void)pool.forward(x, true);
+  Tensor g({1, 1, 1, 1}, {7.0f});
+  const Tensor gi = pool.backward(g);
+  EXPECT_EQ(gi[0], 0.0f);
+  EXPECT_EQ(gi[1], 7.0f);
+  EXPECT_EQ(gi[2], 0.0f);
+  EXPECT_EQ(gi[3], 0.0f);
+}
+
+TEST(GlobalAvgPool, Averages) {
+  GlobalAvgPool gap;
+  Tensor x({1, 2, 2, 2}, {1, 2, 3, 4, 10, 10, 10, 10});
+  const Tensor y = gap.forward(x, false);
+  EXPECT_FLOAT_EQ(y.at2(0, 0), 2.5f);
+  EXPECT_FLOAT_EQ(y.at2(0, 1), 10.0f);
+}
+
+// ---- Numerical gradient checks ----
+
+TEST(GradCheck, LinearModel) {
+  runtime::Rng rng(10);
+  Model m;
+  m.add(std::make_unique<Linear>(6, 4));
+  m.init(rng);
+  const Tensor x = random_input(rng, {5, 6});
+  const auto labels = random_labels(rng, 5, 4);
+  const GradCheckResult res = check_gradients(m, x, labels);
+  EXPECT_TRUE(res.passed) << "max rel err " << res.max_rel_error;
+}
+
+TEST(GradCheck, MlpWithReLU) {
+  runtime::Rng rng(11);
+  Model m = make_mlp(8, 10, 3);
+  m.init(rng);
+  const Tensor x = random_input(rng, {6, 8});
+  const auto labels = random_labels(rng, 6, 3);
+  const GradCheckResult res = check_gradients(m, x, labels);
+  EXPECT_TRUE(res.passed) << "max rel err " << res.max_rel_error;
+}
+
+TEST(GradCheck, ConvStack) {
+  runtime::Rng rng(12);
+  Model m;
+  m.add(std::make_unique<Conv2d>(2, 3, 3, 1))
+      .add(std::make_unique<ReLU>())
+      .add(std::make_unique<MaxPool2d>(2))
+      .add(std::make_unique<Flatten>())
+      .add(std::make_unique<Linear>(3 * 3 * 3, 4));
+  m.init(rng);
+  const Tensor x = random_input(rng, {3, 2, 6, 6});
+  const auto labels = random_labels(rng, 3, 4);
+  const GradCheckResult res = check_gradients(m, x, labels, 3e-3, 6e-2, 128);
+  EXPECT_TRUE(res.passed) << "max rel err " << res.max_rel_error;
+}
+
+TEST(GradCheck, GlobalAvgPoolPath) {
+  runtime::Rng rng(13);
+  Model m;
+  m.add(std::make_unique<Conv2d>(1, 4, 3, 1))
+      .add(std::make_unique<ReLU>())
+      .add(std::make_unique<GlobalAvgPool>())
+      .add(std::make_unique<Linear>(4, 3));
+  m.init(rng);
+  const Tensor x = random_input(rng, {4, 1, 5, 5});
+  const auto labels = random_labels(rng, 4, 3);
+  const GradCheckResult res = check_gradients(m, x, labels, 3e-3, 6e-2, 128);
+  EXPECT_TRUE(res.passed) << "max rel err " << res.max_rel_error;
+}
+
+TEST(GradCheck, ResidualBlockWithProjection) {
+  runtime::Rng rng(14);
+  Model m;
+  m.add(std::make_unique<ResidualBlock>(2, 4))
+      .add(std::make_unique<GlobalAvgPool>())
+      .add(std::make_unique<Linear>(4, 3));
+  m.init(rng);
+  const Tensor x = random_input(rng, {2, 2, 5, 5});
+  const auto labels = random_labels(rng, 2, 3);
+  const GradCheckResult res = check_gradients(m, x, labels, 3e-3, 6e-2, 128);
+  EXPECT_TRUE(res.passed) << "max rel err " << res.max_rel_error;
+}
+
+TEST(GradCheck, ResidualBlockIdentitySkip) {
+  runtime::Rng rng(15);
+  Model m;
+  m.add(std::make_unique<ResidualBlock>(3, 3))
+      .add(std::make_unique<GlobalAvgPool>())
+      .add(std::make_unique<Linear>(3, 2));
+  m.init(rng);
+  const Tensor x = random_input(rng, {2, 3, 4, 4});
+  const auto labels = random_labels(rng, 2, 2);
+  const GradCheckResult res = check_gradients(m, x, labels, 3e-3, 6e-2, 128);
+  EXPECT_TRUE(res.passed) << "max rel err " << res.max_rel_error;
+}
+
+// Factory architectures: forward shape sanity + one gradient probe each.
+
+TEST(Factories, ResNet3ForwardShape) {
+  runtime::Rng rng(16);
+  Model m = make_resnet3(3, 16, 10);
+  m.init(rng);
+  const Tensor x = random_input(rng, {2, 3, 16, 16});
+  const Tensor y = m.forward(x, false);
+  EXPECT_EQ(y.dim(0), 2u);
+  EXPECT_EQ(y.dim(1), 10u);
+}
+
+TEST(Factories, Cnn5ForwardShape) {
+  runtime::Rng rng(17);
+  Model m = make_cnn5(1, 32, 16, 35);
+  m.init(rng);
+  const Tensor x = random_input(rng, {2, 1, 32, 16});
+  const Tensor y = m.forward(x, false);
+  EXPECT_EQ(y.dim(1), 35u);
+}
+
+TEST(Factories, MlpForwardShape) {
+  runtime::Rng rng(18);
+  Model m = make_mlp(32, 64, 10);
+  m.init(rng);
+  const Tensor x = random_input(rng, {3, 32});
+  const Tensor y = m.forward(x, false);
+  EXPECT_EQ(y.dim(1), 10u);
+}
+
+}  // namespace
+}  // namespace groupfel::nn

@@ -1,0 +1,87 @@
+#include "net/network_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace groupfel::net {
+namespace {
+
+TEST(LinkSpec, TransferTimeIsLatencyPlusSerialization) {
+  const LinkSpec link{0.01, 8e6};  // 8 Mbps -> 1 MB/s
+  EXPECT_NEAR(link.transfer_time(1e6), 0.01 + 1.0, 1e-9);
+  EXPECT_NEAR(link.transfer_time(0), 0.01, 1e-12);
+}
+
+TEST(ModelBytes, ScalesWithParamsAndCommFactor) {
+  EXPECT_NEAR(model_bytes(1000), 4256.0, 1e-9);
+  EXPECT_NEAR(model_bytes(1000, 2.0), 2 * 4256.0, 1e-9);
+}
+
+TEST(NetworkModel, GroupTimeGatedBySlowestMember) {
+  NetworkModel net;
+  const std::vector<double> computes{1.0, 5.0, 2.0};
+  GroupRoundTiming timing;
+  timing.member_compute_s = computes;
+  timing.group_op_s = 0.5;
+  timing.k_rounds = 1;
+  timing.model_bytes = 0.0;
+  // Slowest member: 2 * latency + 5.0 compute, plus the group op.
+  const double latency = net.spec().client_edge.latency_s;
+  EXPECT_NEAR(net.group_time(timing), 2 * latency + 5.0 + 0.5, 1e-9);
+}
+
+TEST(NetworkModel, KRoundsMultiply) {
+  NetworkModel net;
+  const std::vector<double> computes{1.0};
+  GroupRoundTiming timing;
+  timing.member_compute_s = computes;
+  timing.k_rounds = 1;
+  const double one = net.group_time(timing);
+  timing.k_rounds = 5;
+  EXPECT_NEAR(net.group_time(timing), 5 * one, 1e-9);
+}
+
+TEST(NetworkModel, GlobalRoundAddsCloudHops) {
+  NetworkModel net;
+  const std::vector<double> computes{1.0};
+  GroupRoundTiming timing;
+  timing.member_compute_s = computes;
+  timing.k_rounds = 1;
+  timing.model_bytes = 1e5;
+  const std::vector<GroupRoundTiming> groups{timing};
+  const double group_only = net.group_time(timing);
+  const double total = net.global_round_time(groups);
+  EXPECT_GT(total, group_only);
+  // Exactly: + edge->cloud up + edge->cloud down + edge->client down.
+  const double extra = net.spec().edge_cloud.transfer_time(1e5) * 2 +
+                       net.spec().client_edge.transfer_time(1e5);
+  EXPECT_NEAR(total, group_only + extra, 1e-9);
+}
+
+TEST(NetworkModel, ParallelGroupsTakeMax) {
+  NetworkModel net;
+  const std::vector<double> fast{0.5};
+  const std::vector<double> slow{9.0};
+  GroupRoundTiming a, b;
+  a.member_compute_s = fast;
+  b.member_compute_s = slow;
+  a.k_rounds = b.k_rounds = 1;
+  const std::vector<GroupRoundTiming> groups{a, b};
+  const double total = net.global_round_time(groups);
+  EXPECT_GE(total, net.group_time(b));
+  EXPECT_LT(total, net.group_time(a) + net.group_time(b));
+}
+
+TEST(NetworkModel, DoubledCommunicationCostsMoreTime) {
+  // The SCAFFOLD effect: shipping control variates doubles the payload.
+  NetworkModel net({{0.01, 1e6}, {0.02, 1e7}});  // slow links
+  const std::vector<double> computes{1.0};
+  GroupRoundTiming normal, heavy;
+  normal.member_compute_s = heavy.member_compute_s = computes;
+  normal.k_rounds = heavy.k_rounds = 2;
+  normal.model_bytes = model_bytes(10000, 1.0);
+  heavy.model_bytes = model_bytes(10000, 2.0);
+  EXPECT_GT(net.group_time(heavy), net.group_time(normal));
+}
+
+}  // namespace
+}  // namespace groupfel::net

@@ -1,0 +1,77 @@
+#include "secagg/prg.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace groupfel::secagg {
+namespace {
+
+TEST(Prg, DeterministicForSameKeyAndNonce) {
+  ChaChaPrg a(42, 7), b(42, 7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Prg, KeySensitivity) {
+  ChaChaPrg a(42, 7), b(43, 7);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next_u64() == b.next_u64());
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Prg, NonceSensitivity) {
+  ChaChaPrg a(42, 7), b(42, 8);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next_u64() == b.next_u64());
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Prg, FieldElementsInRange) {
+  ChaChaPrg prg(5, 1);
+  for (int i = 0; i < 5000; ++i) EXPECT_LT(prg.next_fe().value(), kFieldPrime);
+}
+
+TEST(Prg, FieldElementsRoughlyUniform) {
+  // Chi-square over 8 buckets; bound is very loose but catches gross bias.
+  ChaChaPrg prg(6, 2);
+  const int n = 80000;
+  std::array<int, 8> buckets{};
+  for (int i = 0; i < n; ++i)
+    ++buckets[static_cast<std::size_t>(
+        prg.next_fe().value() / ((kFieldPrime / 8) + 1))];
+  const double expected = n / 8.0;
+  double chi2 = 0.0;
+  for (int b : buckets) chi2 += (b - expected) * (b - expected) / expected;
+  EXPECT_LT(chi2, 40.0);  // df=7; 40 is far beyond any sane p-value cut
+}
+
+TEST(Prg, MaskVectorLength) {
+  ChaChaPrg prg(7, 3);
+  const auto mask = prg.mask(257);
+  EXPECT_EQ(mask.size(), 257u);
+  std::set<std::uint64_t> uniq;
+  for (const auto& m : mask) uniq.insert(m.value());
+  EXPECT_GT(uniq.size(), 250u);  // no obvious repetition
+}
+
+TEST(Prg, StreamDoesNotCycleEarly) {
+  ChaChaPrg prg(8, 4);
+  std::vector<std::uint64_t> first(64);
+  for (auto& v : first) v = prg.next_u64();
+  // The next 64 outputs (second ChaCha block onward) must differ.
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (prg.next_u64() == first[i]);
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Prg, BitBalance) {
+  ChaChaPrg prg(9, 5);
+  std::int64_t pop = 0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) pop += __builtin_popcountll(prg.next_u64());
+  const double mean_bits = static_cast<double>(pop) / n;
+  EXPECT_NEAR(mean_bits, 32.0, 0.5);
+}
+
+}  // namespace
+}  // namespace groupfel::secagg

@@ -1,0 +1,89 @@
+// Property sweep of the secure-aggregation protocol across group sizes,
+// vector dimensions, thresholds, and dropout patterns.
+#include <gtest/gtest.h>
+
+#include "secagg/secure_aggregator.hpp"
+
+namespace groupfel::secagg {
+namespace {
+
+struct Case {
+  std::size_t n, dim, threshold, dropouts;
+};
+
+class SecAggPropertyTest : public ::testing::TestWithParam<Case> {};
+
+TEST_P(SecAggPropertyTest, SumExactUnderDropouts) {
+  const Case c = GetParam();
+  runtime::Rng rng(c.n * 1000 + c.dim + c.dropouts);
+  SecAggConfig cfg;
+  cfg.threshold = c.threshold;
+  SecureAggregator agg(c.n, c.dim, cfg, rng);
+
+  std::vector<std::vector<float>> inputs(c.n, std::vector<float>(c.dim));
+  for (auto& v : inputs)
+    for (auto& x : v) x = static_cast<float>(rng.normal() * 10.0);
+
+  std::set<std::size_t> dropped;
+  // Drop the odd indices first (an arbitrary but deterministic pattern).
+  for (std::size_t i = 1; dropped.size() < c.dropouts && i < c.n; i += 2)
+    dropped.insert(i);
+  for (std::size_t i = 0; dropped.size() < c.dropouts && i < c.n; i += 2)
+    dropped.insert(i);
+
+  const auto got = agg.run(inputs, dropped);
+  for (std::size_t k = 0; k < c.dim; ++k) {
+    double want = 0.0;
+    for (std::size_t i = 0; i < c.n; ++i)
+      if (!dropped.count(i)) want += static_cast<double>(inputs[i][k]);
+    EXPECT_NEAR(static_cast<double>(got[k]), want, 1e-2)
+        << "coordinate " << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Protocols, SecAggPropertyTest,
+    ::testing::Values(Case{2, 16, 2, 0},    // minimal group
+                      Case{3, 1, 2, 1},     // scalar payload + dropout
+                      Case{5, 64, 3, 2},    // low threshold, max dropouts
+                      Case{8, 128, 6, 2},   // default-ish
+                      Case{12, 32, 8, 4},   // larger group
+                      Case{16, 8, 11, 5},   // many dropouts
+                      Case{20, 256, 14, 0}));
+
+TEST(SecAggProperty, MaskedVectorsDifferAcrossClients) {
+  // Two clients submitting IDENTICAL plaintext must produce different
+  // masked vectors (otherwise masks leak).
+  runtime::Rng rng(77);
+  SecureAggregator agg(4, 32, {}, rng);
+  const std::vector<float> x(32, 1.0f);
+  const auto m0 = agg.client_masked_input(0, x);
+  const auto m1 = agg.client_masked_input(1, x);
+  int same = 0;
+  for (std::size_t k = 0; k < 32; ++k) same += (m0[k] == m1[k]);
+  EXPECT_LE(same, 1);
+}
+
+TEST(SecAggProperty, RepeatedAggregationIsDeterministic) {
+  runtime::Rng rng(88);
+  SecureAggregator agg(5, 16, {}, rng);
+  std::vector<std::vector<float>> inputs(5, std::vector<float>(16, 0.25f));
+  const auto a = agg.run(inputs);
+  const auto b = agg.run(inputs);
+  EXPECT_EQ(a, b);
+}
+
+TEST(SecAggProperty, SessionsWithDifferentRngDiffer) {
+  runtime::Rng r1(1), r2(2);
+  SecureAggregator a1(4, 8, {}, r1);
+  SecureAggregator a2(4, 8, {}, r2);
+  const std::vector<float> x(8, 1.0f);
+  const auto m1 = a1.client_masked_input(0, x);
+  const auto m2 = a2.client_masked_input(0, x);
+  int same = 0;
+  for (std::size_t k = 0; k < 8; ++k) same += (m1[k] == m2[k]);
+  EXPECT_LE(same, 1);
+}
+
+}  // namespace
+}  // namespace groupfel::secagg

@@ -1,0 +1,107 @@
+#include "secagg/shamir.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace groupfel::secagg {
+namespace {
+
+class ShamirParamTest
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {};
+
+TEST_P(ShamirParamTest, AnyTSubsetReconstructs) {
+  const auto [n, t] = GetParam();
+  runtime::Rng rng(17);
+  const Fe secret(0x123456789abcdefull % kFieldPrime);
+  const auto shares = shamir_share(secret, n, t, rng);
+  ASSERT_EQ(shares.size(), n);
+
+  // First t shares.
+  std::vector<Share> subset(shares.begin(),
+                            shares.begin() + static_cast<std::ptrdiff_t>(t));
+  EXPECT_EQ(shamir_reconstruct(subset).value(), secret.value());
+
+  // Last t shares.
+  std::vector<Share> tail(shares.end() - static_cast<std::ptrdiff_t>(t),
+                          shares.end());
+  EXPECT_EQ(shamir_reconstruct(tail).value(), secret.value());
+
+  // All n shares.
+  EXPECT_EQ(shamir_reconstruct(shares).value(), secret.value());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, ShamirParamTest,
+    ::testing::Values(std::make_tuple(1u, 1u), std::make_tuple(3u, 2u),
+                      std::make_tuple(5u, 3u), std::make_tuple(10u, 7u),
+                      std::make_tuple(20u, 14u), std::make_tuple(7u, 7u)));
+
+TEST(Shamir, FewerThanTSharesGiveWrongSecret) {
+  runtime::Rng rng(18);
+  const Fe secret(424242);
+  const auto shares = shamir_share(secret, 6, 4, rng);
+  const std::vector<Share> few(shares.begin(), shares.begin() + 3);
+  // With overwhelming probability the 3-share "reconstruction" is garbage.
+  EXPECT_NE(shamir_reconstruct(few).value(), secret.value());
+}
+
+TEST(Shamir, ShareValuesLookRandom) {
+  // No share equals the secret itself for t >= 2 (information hiding).
+  runtime::Rng rng(19);
+  const Fe secret(7);
+  int hits = 0;
+  for (int rep = 0; rep < 50; ++rep) {
+    const auto shares = shamir_share(secret, 5, 3, rng);
+    for (const auto& s : shares) hits += (s.y.value() == secret.value());
+  }
+  EXPECT_LE(hits, 2);  // chance collisions only
+}
+
+TEST(Shamir, DistinctPolynomialsPerCall) {
+  runtime::Rng rng(20);
+  const Fe secret(99);
+  const auto a = shamir_share(secret, 4, 2, rng);
+  const auto b = shamir_share(secret, 4, 2, rng);
+  bool any_diff = false;
+  for (std::size_t i = 0; i < 4; ++i) any_diff |= !(a[i].y == b[i].y);
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Shamir, ThresholdOneIsConstantPolynomial) {
+  runtime::Rng rng(21);
+  const Fe secret(31337);
+  const auto shares = shamir_share(secret, 4, 1, rng);
+  for (const auto& s : shares) EXPECT_EQ(s.y.value(), secret.value());
+}
+
+TEST(Shamir, RejectsBadParameters) {
+  runtime::Rng rng(22);
+  EXPECT_THROW((void)shamir_share(Fe(1), 3, 0, rng), std::invalid_argument);
+  EXPECT_THROW((void)shamir_share(Fe(1), 3, 4, rng), std::invalid_argument);
+}
+
+TEST(Shamir, ReconstructRejectsBadShares) {
+  EXPECT_THROW((void)shamir_reconstruct({}), std::invalid_argument);
+  const std::vector<Share> dup{{1, Fe(5)}, {1, Fe(6)}};
+  EXPECT_THROW((void)shamir_reconstruct(dup), std::invalid_argument);
+  const std::vector<Share> zero_x{{0, Fe(5)}};
+  EXPECT_THROW((void)shamir_reconstruct(zero_x), std::invalid_argument);
+}
+
+TEST(Shamir, ZeroSecret) {
+  runtime::Rng rng(23);
+  const auto shares = shamir_share(Fe(0), 5, 3, rng);
+  const std::vector<Share> subset(shares.begin(), shares.begin() + 3);
+  EXPECT_EQ(shamir_reconstruct(subset).value(), 0u);
+}
+
+TEST(Shamir, MaxFieldSecret) {
+  runtime::Rng rng(24);
+  const Fe secret(kFieldPrime - 1);
+  const auto shares = shamir_share(secret, 5, 5, rng);
+  EXPECT_EQ(shamir_reconstruct(shares).value(), kFieldPrime - 1);
+}
+
+}  // namespace
+}  // namespace groupfel::secagg

@@ -1,0 +1,134 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace groupfel::util {
+namespace {
+
+TEST(Stats, MeanVarianceStddev) {
+  const std::vector<double> xs{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 5.0);
+  EXPECT_DOUBLE_EQ(variance(xs), 4.0);  // population variance
+  EXPECT_DOUBLE_EQ(stddev(xs), 2.0);
+}
+
+TEST(Stats, EmptyInputsAreZero) {
+  const std::vector<double> empty;
+  EXPECT_DOUBLE_EQ(mean(empty), 0.0);
+  EXPECT_DOUBLE_EQ(variance(empty), 0.0);
+}
+
+TEST(Stats, CoefficientOfVariation) {
+  const std::vector<double> xs{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(coefficient_of_variation(xs), 2.0 / 5.0);
+  const std::vector<double> zeros{0.0, 0.0};
+  EXPECT_DOUBLE_EQ(coefficient_of_variation(zeros), 0.0);
+}
+
+TEST(Stats, MinMax) {
+  const std::vector<double> xs{3.0, -1.0, 7.0};
+  EXPECT_DOUBLE_EQ(min_of(xs), -1.0);
+  EXPECT_DOUBLE_EQ(max_of(xs), 7.0);
+}
+
+TEST(LinearFit, RecoversExactLine) {
+  std::vector<double> x, y;
+  for (int i = 0; i < 20; ++i) {
+    x.push_back(i);
+    y.push_back(3.5 * i - 2.0);
+  }
+  const LinearFit fit = fit_linear(x, y);
+  EXPECT_NEAR(fit.slope, 3.5, 1e-9);
+  EXPECT_NEAR(fit.intercept, -2.0, 1e-9);
+  EXPECT_NEAR(fit.r2, 1.0, 1e-12);
+}
+
+TEST(LinearFit, R2DropsWithNoise) {
+  std::vector<double> x, y;
+  for (int i = 0; i < 50; ++i) {
+    x.push_back(i);
+    y.push_back(2.0 * i + ((i % 2) ? 20.0 : -20.0));
+  }
+  const LinearFit fit = fit_linear(x, y);
+  EXPECT_LT(fit.r2, 0.95);
+  EXPECT_NEAR(fit.slope, 2.0, 0.2);
+}
+
+TEST(LinearFit, RejectsTooFewPoints) {
+  const std::vector<double> x{1.0}, y{2.0};
+  EXPECT_THROW((void)fit_linear(x, y), std::invalid_argument);
+}
+
+TEST(QuadraticFit, RecoversExactParabola) {
+  std::vector<double> x, y;
+  for (int i = 1; i <= 25; ++i) {
+    x.push_back(i);
+    y.push_back(0.25 * i * i - 1.5 * i + 4.0);
+  }
+  const QuadraticFit fit = fit_quadratic(x, y);
+  EXPECT_NEAR(fit.a, 0.25, 1e-8);
+  EXPECT_NEAR(fit.b, -1.5, 1e-7);
+  EXPECT_NEAR(fit.c, 4.0, 1e-6);
+  EXPECT_NEAR(fit.r2, 1.0, 1e-10);
+}
+
+TEST(QuadraticFit, FitsLineWithZeroQuadTerm) {
+  std::vector<double> x, y;
+  for (int i = 0; i < 12; ++i) {
+    x.push_back(i);
+    y.push_back(5.0 * i + 1.0);
+  }
+  const QuadraticFit fit = fit_quadratic(x, y);
+  EXPECT_NEAR(fit.a, 0.0, 1e-8);
+  EXPECT_NEAR(fit.b, 5.0, 1e-7);
+}
+
+TEST(QuadraticFit, RejectsTooFewPoints) {
+  const std::vector<double> x{1.0, 2.0}, y{1.0, 2.0};
+  EXPECT_THROW((void)fit_quadratic(x, y), std::invalid_argument);
+}
+
+TEST(Kld, ZeroForIdenticalDistributions) {
+  const std::vector<double> p{0.2, 0.3, 0.5};
+  EXPECT_NEAR(kl_divergence(p, p), 0.0, 1e-9);
+}
+
+TEST(Kld, PositiveForDifferentDistributions) {
+  const std::vector<double> p{0.9, 0.1};
+  const std::vector<double> q{0.1, 0.9};
+  EXPECT_GT(kl_divergence(p, q), 0.5);
+}
+
+TEST(Kld, AsymmetricInGeneral) {
+  const std::vector<double> p{0.8, 0.15, 0.05};
+  const std::vector<double> q{0.3, 0.3, 0.4};
+  EXPECT_NE(kl_divergence(p, q), kl_divergence(q, p));
+}
+
+TEST(Kld, HandlesUnnormalizedCounts) {
+  // Counts are normalized internally; scaling both by any factor is a noop.
+  const std::vector<double> p{8.0, 2.0};
+  const std::vector<double> p10{80.0, 20.0};
+  const std::vector<double> q{5.0, 5.0};
+  EXPECT_NEAR(kl_divergence(p, q), kl_divergence(p10, q), 1e-6);
+}
+
+TEST(Kld, SmoothingHandlesZeros) {
+  const std::vector<double> p{1.0, 0.0};
+  const std::vector<double> q{0.0, 1.0};
+  const double kl = kl_divergence(p, q);
+  EXPECT_TRUE(std::isfinite(kl));
+  EXPECT_GT(kl, 1.0);
+}
+
+TEST(Kld, RejectsSizeMismatch) {
+  const std::vector<double> p{1.0};
+  const std::vector<double> q{0.5, 0.5};
+  EXPECT_THROW((void)kl_divergence(p, q), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace groupfel::util

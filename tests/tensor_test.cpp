@@ -1,0 +1,114 @@
+#include "nn/tensor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace groupfel::nn {
+namespace {
+
+TEST(Tensor, ZeroInitialized) {
+  Tensor t({2, 3});
+  EXPECT_EQ(t.size(), 6u);
+  for (std::size_t i = 0; i < t.size(); ++i) EXPECT_EQ(t[i], 0.0f);
+}
+
+TEST(Tensor, ConstructFromData) {
+  Tensor t({2, 2}, {1, 2, 3, 4});
+  EXPECT_EQ(t.at2(0, 1), 2.0f);
+  EXPECT_EQ(t.at2(1, 0), 3.0f);
+}
+
+TEST(Tensor, ConstructRejectsSizeMismatch) {
+  EXPECT_THROW(Tensor({2, 2}, {1, 2, 3}), std::invalid_argument);
+}
+
+TEST(Tensor, At4Indexing) {
+  Tensor t({2, 3, 4, 5});
+  t.at4(1, 2, 3, 4) = 9.0f;
+  EXPECT_EQ(t[((1 * 3 + 2) * 4 + 3) * 5 + 4], 9.0f);
+}
+
+TEST(Tensor, Reshape) {
+  Tensor t({2, 6});
+  t.reshape({3, 4});
+  EXPECT_EQ(t.dim(0), 3u);
+  EXPECT_EQ(t.dim(1), 4u);
+  EXPECT_THROW(t.reshape({5, 5}), std::invalid_argument);
+}
+
+TEST(Tensor, ElementwiseOps) {
+  Tensor a({1, 3}, {1, 2, 3});
+  Tensor b({1, 3}, {10, 20, 30});
+  a += b;
+  EXPECT_EQ(a[2], 33.0f);
+  a -= b;
+  EXPECT_EQ(a[0], 1.0f);
+  a *= 2.0f;
+  EXPECT_EQ(a[1], 4.0f);
+  Tensor c({1, 2});
+  EXPECT_THROW(a += c, std::invalid_argument);
+}
+
+TEST(Tensor, SumAndNorm) {
+  Tensor t({1, 4}, {3, 4, 0, 0});
+  EXPECT_DOUBLE_EQ(t.sum(), 7.0);
+  EXPECT_DOUBLE_EQ(t.l2_norm(), 5.0);
+}
+
+TEST(Tensor, ShapeString) {
+  Tensor t({2, 3});
+  EXPECT_EQ(t.shape_string(), "[2, 3]");
+}
+
+TEST(Matmul, MatchesHandComputed) {
+  // [1 2; 3 4] * [5 6; 7 8] = [19 22; 43 50]
+  Tensor a({2, 2}, {1, 2, 3, 4});
+  Tensor b({2, 2}, {5, 6, 7, 8});
+  Tensor c({2, 2});
+  matmul(a, b, c);
+  EXPECT_EQ(c.at2(0, 0), 19.0f);
+  EXPECT_EQ(c.at2(0, 1), 22.0f);
+  EXPECT_EQ(c.at2(1, 0), 43.0f);
+  EXPECT_EQ(c.at2(1, 1), 50.0f);
+}
+
+TEST(Matmul, RejectsShapeMismatch) {
+  Tensor a({2, 3}), b({2, 2}), c({2, 2});
+  EXPECT_THROW(matmul(a, b, c), std::invalid_argument);
+}
+
+TEST(MatmulBt, EqualsMatmulWithTransposedB) {
+  // a[2,3] * b[4,3]^T == matmul(a, b^T)
+  Tensor a({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor b({4, 3}, {1, 0, 1, 2, 1, 0, 0, 3, 1, 1, 1, 1});
+  Tensor bt({3, 4});
+  for (std::size_t i = 0; i < 4; ++i)
+    for (std::size_t j = 0; j < 3; ++j) bt.at2(j, i) = b.at2(i, j);
+  Tensor want({2, 4}), got({2, 4});
+  matmul(a, bt, want);
+  matmul_bt(a, b, got);
+  for (std::size_t i = 0; i < want.size(); ++i) EXPECT_EQ(want[i], got[i]);
+}
+
+TEST(MatmulAt, EqualsMatmulWithTransposedA) {
+  Tensor a({4, 2}, {1, 2, 3, 4, 5, 6, 7, 8});
+  Tensor b({4, 3}, {1, 0, 0, 0, 1, 0, 0, 0, 1, 1, 1, 1});
+  Tensor at({2, 4});
+  for (std::size_t i = 0; i < 4; ++i)
+    for (std::size_t j = 0; j < 2; ++j) at.at2(j, i) = a.at2(i, j);
+  Tensor want({2, 3}), got({2, 3});
+  matmul(at, b, want);
+  matmul_at(a, b, got);
+  for (std::size_t i = 0; i < want.size(); ++i) EXPECT_EQ(want[i], got[i]);
+}
+
+TEST(ShapeSize, Product) {
+  const std::vector<std::size_t> s{2, 3, 4};
+  EXPECT_EQ(shape_size(s), 24u);
+  const std::vector<std::size_t> empty;
+  EXPECT_EQ(shape_size(empty), 1u);
+}
+
+}  // namespace
+}  // namespace groupfel::nn

@@ -1,0 +1,62 @@
+#include "secagg/transcript.hpp"
+
+#include <gtest/gtest.h>
+
+namespace groupfel::secagg {
+namespace {
+
+TEST(Transcript, TotalIsSumOfRounds) {
+  const auto t = secagg_transcript(8, 100, 1, 6);
+  EXPECT_EQ(t.total(),
+            t.round0_keys + t.round1_shares + t.round2_masked + t.round3_unmask);
+  EXPECT_GT(t.total(), 0u);
+}
+
+TEST(Transcript, Round1QuadraticInGroupSize) {
+  // Doubling n roughly quadruples the share traffic (n*(n-1) pairs).
+  const auto small = secagg_transcript(10, 100, 0, 7);
+  const auto large = secagg_transcript(20, 100, 0, 14);
+  const double ratio = static_cast<double>(large.round1_shares) /
+                       static_cast<double>(small.round1_shares);
+  EXPECT_GT(ratio, 3.5);
+  EXPECT_LT(ratio, 4.6);
+}
+
+TEST(Transcript, Round2LinearInDim) {
+  const auto d1 = secagg_transcript(8, 100, 0, 6);
+  const auto d2 = secagg_transcript(8, 200, 0, 6);
+  EXPECT_GT(d2.round2_masked, d1.round2_masked);
+  EXPECT_LT(d2.round2_masked, 2 * d1.round2_masked + 8 * 64);
+}
+
+TEST(Transcript, DropoutsShrinkRound2ButKeepRound3) {
+  const auto none = secagg_transcript(10, 500, 0, 7);
+  const auto some = secagg_transcript(10, 500, 3, 7);
+  EXPECT_LT(some.round2_masked, none.round2_masked);
+  // Unmask traffic covers survivors + dropouts either way (t shares each).
+  EXPECT_EQ(some.round3_unmask >= none.round3_unmask - 3 * 32, true);
+}
+
+TEST(Transcript, PerClientAverage) {
+  const auto t = secagg_transcript(10, 100, 0, 7);
+  EXPECT_NEAR(t.per_client(10), static_cast<double>(t.total()) / 10.0, 1e-9);
+  EXPECT_DOUBLE_EQ(ProtocolTranscript{}.per_client(0), 0.0);
+}
+
+TEST(Transcript, RejectsInvalidInputs) {
+  EXPECT_THROW((void)secagg_transcript(5, 10, 6, 3), std::invalid_argument);
+  EXPECT_THROW((void)secagg_transcript(5, 10, 0, 0), std::invalid_argument);
+  EXPECT_THROW((void)secagg_transcript(5, 10, 0, 6), std::invalid_argument);
+  EXPECT_THROW((void)secagg_transcript(5, 10, 3, 3), std::invalid_argument);
+}
+
+TEST(Transcript, WireFormatScalesResults) {
+  WireFormat fat;
+  fat.field_element = 16;
+  const auto thin = secagg_transcript(6, 1000, 0, 4);
+  const auto wide = secagg_transcript(6, 1000, 0, 4, fat);
+  EXPECT_GT(wide.round2_masked, thin.round2_masked);
+}
+
+}  // namespace
+}  // namespace groupfel::secagg

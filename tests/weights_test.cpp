@@ -1,0 +1,127 @@
+// Aggregation-weight tests: Eq. 4's unbiasedness property (verified
+// statistically) and Eq. 35's stabilization.
+#include "sampling/weights.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sampling/sampler.hpp"
+
+namespace groupfel::sampling {
+namespace {
+
+const std::vector<double> kP{0.4, 0.3, 0.2, 0.1};
+const std::vector<std::size_t> kSizes{100, 50, 200, 150};
+
+TEST(Weights, BiasedSumsToOne) {
+  const std::vector<std::size_t> sampled{0, 2};
+  const auto w =
+      aggregation_weights(AggregationMode::kBiased, sampled, kP, kSizes);
+  EXPECT_NEAR(w[0] + w[1], 1.0, 1e-12);
+  // n_g/n_t: 100/300 and 200/300.
+  EXPECT_NEAR(w[0], 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(w[1], 2.0 / 3.0, 1e-12);
+}
+
+TEST(Weights, StabilizedSumsToOne) {
+  const std::vector<std::size_t> sampled{1, 3};
+  const auto w =
+      aggregation_weights(AggregationMode::kStabilized, sampled, kP, kSizes);
+  EXPECT_NEAR(w[0] + w[1], 1.0, 1e-12);
+}
+
+TEST(Weights, UnbiasedMatchesEq4) {
+  const std::vector<std::size_t> sampled{0, 3};
+  const auto w =
+      aggregation_weights(AggregationMode::kUnbiased, sampled, kP, kSizes);
+  const double n = 500.0, s = 2.0;
+  EXPECT_NEAR(w[0], (1.0 / (kP[0] * s)) * (100.0 / n), 1e-12);
+  EXPECT_NEAR(w[1], (1.0 / (kP[3] * s)) * (150.0 / n), 1e-12);
+}
+
+TEST(Weights, UnbiasedExpectationIsFullAverage) {
+  // E over sampling of sum_g w_g * v_g must equal sum over ALL groups of
+  // (n_g / n) * v_g. Verified by Monte Carlo with scalar "models".
+  const std::vector<double> values{1.0, 5.0, -2.0, 10.0};
+  double target = 0.0;
+  double n = 0.0;
+  for (auto sz : kSizes) n += static_cast<double>(sz);
+  for (std::size_t g = 0; g < 4; ++g)
+    target += (static_cast<double>(kSizes[g]) / n) * values[g];
+
+  runtime::Rng rng(1);
+  const int reps = 200000;
+  double acc = 0.0;
+  for (int rep = 0; rep < reps; ++rep) {
+    const auto sampled = sample_groups(kP, 1, rng);
+    const auto w =
+        aggregation_weights(AggregationMode::kUnbiased, sampled, kP, kSizes);
+    acc += w[0] * values[sampled[0]];
+  }
+  EXPECT_NEAR(acc / reps, target, 0.02);
+}
+
+TEST(Weights, BiasedExpectationIsNotFullAverage) {
+  // Counterpart: the biased rule over a skewed p does NOT match the full
+  // average — the bias the correction factor exists to remove.
+  const std::vector<double> values{1.0, 5.0, -2.0, 10.0};
+  double target = 0.0;
+  double n = 0.0;
+  for (auto sz : kSizes) n += static_cast<double>(sz);
+  for (std::size_t g = 0; g < 4; ++g)
+    target += (static_cast<double>(kSizes[g]) / n) * values[g];
+
+  runtime::Rng rng(2);
+  const int reps = 100000;
+  double acc = 0.0;
+  for (int rep = 0; rep < reps; ++rep) {
+    const auto sampled = sample_groups(kP, 1, rng);
+    const auto w =
+        aggregation_weights(AggregationMode::kBiased, sampled, kP, kSizes);
+    acc += w[0] * values[sampled[0]];
+  }
+  EXPECT_GT(std::abs(acc / reps - target), 0.2);
+}
+
+TEST(Weights, StabilizedProportionalToUnbiased) {
+  const std::vector<std::size_t> sampled{0, 1, 2};
+  const auto u =
+      aggregation_weights(AggregationMode::kUnbiased, sampled, kP, kSizes);
+  const auto s =
+      aggregation_weights(AggregationMode::kStabilized, sampled, kP, kSizes);
+  const double ratio = u[0] / s[0];
+  for (std::size_t i = 1; i < 3; ++i)
+    EXPECT_NEAR(u[i] / s[i], ratio, 1e-9);
+}
+
+TEST(Weights, RejectsBadInput) {
+  const std::vector<std::size_t> sampled{0};
+  const std::vector<double> short_p{0.5};
+  EXPECT_THROW((void)aggregation_weights(AggregationMode::kBiased, sampled,
+                                         short_p, kSizes),
+               std::invalid_argument);
+  const std::vector<std::size_t> empty;
+  EXPECT_THROW(
+      (void)aggregation_weights(AggregationMode::kBiased, empty, kP, kSizes),
+      std::invalid_argument);
+}
+
+TEST(Weights, RejectsZeroProbabilitySampledGroup) {
+  const std::vector<double> p{0.0, 1.0};
+  const std::vector<std::size_t> sizes{10, 10};
+  const std::vector<std::size_t> sampled{0};
+  EXPECT_THROW((void)aggregation_weights(AggregationMode::kUnbiased, sampled,
+                                         p, sizes),
+               std::invalid_argument);
+  EXPECT_NO_THROW((void)aggregation_weights(AggregationMode::kBiased, sampled,
+                                            p, sizes));
+}
+
+TEST(Weights, ModeNameRoundTrip) {
+  for (auto m : {AggregationMode::kBiased, AggregationMode::kUnbiased,
+                 AggregationMode::kStabilized})
+    EXPECT_EQ(aggregation_mode_from_string(to_string(m)), m);
+  EXPECT_THROW((void)aggregation_mode_from_string("x"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace groupfel::sampling
