@@ -3,12 +3,30 @@
 // Paper: Group-FEL converges above every baseline; the baselines cluster
 // together; FedCLAR's accuracy DROPS after its clustering round because
 // personalization sacrifices the global model.
+// `--model=mlp|resnet3|cnn5` switches the client model; the conv models run
+// on the im2col/GEMM kernels (see docs/DEVELOPMENT.md "Kernel architecture")
+// and are viable at default bench scale.
+#include <stdexcept>
+#include <string>
+
 #include "bench_common.hpp"
+#include "util/flags.hpp"
 
 using namespace groupfel;
 
-int main() {
+namespace {
+core::ModelKind parse_model(const std::string& name) {
+  if (name == "mlp") return core::ModelKind::kMlp;
+  if (name == "resnet3") return core::ModelKind::kResNet3;
+  if (name == "cnn5") return core::ModelKind::kCnn5;
+  throw std::invalid_argument("unknown --model (mlp|resnet3|cnn5): " + name);
+}
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Flags flags(argc, argv);
   core::ExperimentSpec spec = core::default_cifar_spec(bench::bench_scale());
+  spec.model = parse_model(flags.get_string("model", "mlp"));
   const core::GroupFelConfig base = bench::base_config();
 
   const std::vector<core::Method> methods{
@@ -37,8 +55,11 @@ int main() {
                                  {"method", "final acc", "best acc"}, rows);
   std::cout << util::ascii_plot(series, "Fig 9: accuracy vs global round",
                                 "global round", "accuracy");
-  bench::write_series_csv("fig9_accuracy_vs_round.csv", "round", "accuracy",
-                          series);
+  const std::string model_name = flags.get_string("model", "mlp");
+  const std::string csv_name =
+      model_name == "mlp" ? "fig9_accuracy_vs_round.csv"
+                          : "fig9_accuracy_vs_round_" + model_name + ".csv";
+  bench::write_series_csv(csv_name, "round", "accuracy", series);
   std::cout << "expected shape: baselines clustered together; FedCLAR lags "
                "after its clustering round. Note: per ROUND the "
                "variance-reduced SCAFFOLD leads in this substrate; the "

@@ -2,24 +2,70 @@
 
 #include <numeric>
 
+#include "runtime/thread_pool.hpp"
+
 namespace groupfel::core {
+namespace {
+
+struct BatchStat {
+  std::size_t correct = 0;
+  double loss_sum = 0.0;
+};
+
+/// Forward + loss on one batch; pure w.r.t. the model parameters, so any
+/// replica with identical parameters produces the identical stat.
+BatchStat eval_batch(nn::Model& model, const data::DataSet& test,
+                     std::size_t start, std::size_t end) {
+  std::vector<std::size_t> idx(end - start);
+  std::iota(idx.begin(), idx.end(), start);
+  const data::DataSet::Batch batch = test.gather(idx);
+  const nn::Tensor logits = model.forward(batch.features, /*train=*/false);
+  const nn::LossResult lr = nn::softmax_cross_entropy(logits, batch.labels);
+  return {lr.correct, lr.loss * static_cast<double>(end - start)};
+}
+
+}  // namespace
 
 EvalResult evaluate(nn::Model& model, const data::DataSet& test,
                     std::size_t batch_size) {
   EvalResult res;
   if (test.size() == 0) return res;
+  if (batch_size == 0) batch_size = test.size();
+  const std::size_t num_batches =
+      (test.size() + batch_size - 1) / batch_size;
+  std::vector<BatchStat> stats(num_batches);
+
+  // Test-set inference parallelizes over batches the same way client
+  // training parallelizes over clients. Each chunk works on a private model
+  // replica (layers cache activations during forward, so sharing one model
+  // across threads would race) and writes only its own batches' slots; the
+  // reduction below runs in fixed batch order, so the result is
+  // bit-identical to the serial path for any pool size.
+  auto& pool = runtime::ThreadPool::global();
+  const std::size_t chunks = std::min(
+      pool.size() > 0 ? pool.size() : std::size_t{1}, num_batches);
+  if (chunks <= 1) {
+    for (std::size_t bi = 0; bi < num_batches; ++bi) {
+      const std::size_t start = bi * batch_size;
+      stats[bi] = eval_batch(model, test, start,
+                             std::min(test.size(), start + batch_size));
+    }
+  } else {
+    pool.parallel_for(chunks, [&](std::size_t c) {
+      nn::Model replica = model.clone();
+      for (std::size_t bi = c; bi < num_batches; bi += chunks) {
+        const std::size_t start = bi * batch_size;
+        stats[bi] = eval_batch(replica, test, start,
+                               std::min(test.size(), start + batch_size));
+      }
+    });
+  }
+
   std::size_t correct = 0;
   double loss_sum = 0.0;
-  std::vector<std::size_t> idx(batch_size);
-  for (std::size_t start = 0; start < test.size(); start += batch_size) {
-    const std::size_t end = std::min(test.size(), start + batch_size);
-    idx.resize(end - start);
-    std::iota(idx.begin(), idx.end(), start);
-    const data::DataSet::Batch batch = test.gather(idx);
-    const nn::Tensor logits = model.forward(batch.features, /*train=*/false);
-    const nn::LossResult lr = nn::softmax_cross_entropy(logits, batch.labels);
-    correct += lr.correct;
-    loss_sum += lr.loss * static_cast<double>(end - start);
+  for (const auto& s : stats) {
+    correct += s.correct;
+    loss_sum += s.loss_sum;
   }
   res.accuracy = static_cast<double>(correct) / static_cast<double>(test.size());
   res.loss = loss_sum / static_cast<double>(test.size());

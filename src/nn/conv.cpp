@@ -1,8 +1,13 @@
+#include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <limits>
 #include <stdexcept>
 
+#include "nn/gemm.hpp"
+#include "nn/im2col.hpp"
 #include "nn/layer.hpp"
+#include "runtime/workspace.hpp"
 
 namespace groupfel::nn {
 
@@ -35,34 +40,26 @@ Tensor Conv2d::forward(const Tensor& input, bool train) {
     throw std::invalid_argument("Conv2d::forward: kernel larger than input");
   const std::size_t ho = h + 2 * pad_ - k_ + 1;
   const std::size_t wo = w + 2 * pad_ - k_ + 1;
+  const std::size_t how = ho * wo, ncols = n * how, kdim = cin_ * k_ * k_;
   Tensor out({n, cout_, ho, wo});
 
-  for (std::size_t ni = 0; ni < n; ++ni) {
-    for (std::size_t co = 0; co < cout_; ++co) {
-      const float b = bias_[co];
-      for (std::size_t oy = 0; oy < ho; ++oy) {
-        for (std::size_t ox = 0; ox < wo; ++ox) {
-          float acc = b;
-          for (std::size_t ci = 0; ci < cin_; ++ci) {
-            for (std::size_t ky = 0; ky < k_; ++ky) {
-              const std::ptrdiff_t iy =
-                  static_cast<std::ptrdiff_t>(oy + ky) -
-                  static_cast<std::ptrdiff_t>(pad_);
-              if (iy < 0 || iy >= static_cast<std::ptrdiff_t>(h)) continue;
-              for (std::size_t kx = 0; kx < k_; ++kx) {
-                const std::ptrdiff_t ix =
-                    static_cast<std::ptrdiff_t>(ox + kx) -
-                    static_cast<std::ptrdiff_t>(pad_);
-                if (ix < 0 || ix >= static_cast<std::ptrdiff_t>(w)) continue;
-                acc += input.at4(ni, ci, static_cast<std::size_t>(iy),
-                                 static_cast<std::size_t>(ix)) *
-                       weight_.at4(co, ci, ky, kx);
-              }
-            }
-          }
-          out.at4(ni, co, oy, ox) = acc;
-        }
-      }
+  // Lower to GEMM: out_mat[Cout, N·Ho·Wo] = W[Cout, Cin·k·k] · im2col(x).
+  auto& arena = runtime::WorkspaceArena::local();
+  auto cols = arena.acquire(kdim * ncols);
+  detail::im2col(input.raw(), n, cin_, h, w, k_, pad_, cols.data());
+  auto out_mat = arena.acquire(cout_ * ncols);
+  detail::gemm(cout_, ncols, kdim, {weight_.raw(), kdim, 1},
+               {cols.data(), ncols, 1}, out_mat.data());
+
+  // out_mat is [Cout][n·how] but the tensor is [n][Cout][how]: swap the two
+  // outer dims while adding the bias (contiguous `how`-long spans).
+  for (std::size_t co = 0; co < cout_; ++co) {
+    const float b = bias_[co];
+    const float* src = out_mat.data() + co * ncols;
+    for (std::size_t ni = 0; ni < n; ++ni) {
+      float* dst = out.raw() + (ni * cout_ + co) * how;
+      const float* s = src + ni * how;
+      for (std::size_t i = 0; i < how; ++i) dst[i] = s[i] + b;
     }
   }
   if (train) cached_input_ = input;
@@ -75,37 +72,41 @@ Tensor Conv2d::backward(const Tensor& grad_out) {
   const Tensor& x = cached_input_;
   const std::size_t n = x.dim(0), h = x.dim(2), w = x.dim(3);
   const std::size_t ho = grad_out.dim(2), wo = grad_out.dim(3);
-  Tensor grad_in({n, cin_, h, w});
+  const std::size_t how = ho * wo, ncols = n * how, kdim = cin_ * k_ * k_;
+  auto& arena = runtime::WorkspaceArena::local();
 
-  for (std::size_t ni = 0; ni < n; ++ni) {
-    for (std::size_t co = 0; co < cout_; ++co) {
-      for (std::size_t oy = 0; oy < ho; ++oy) {
-        for (std::size_t ox = 0; ox < wo; ++ox) {
-          const float g = grad_out.at4(ni, co, oy, ox);
-          if (g == 0.0f) continue;
-          grad_b_[co] += g;
-          for (std::size_t ci = 0; ci < cin_; ++ci) {
-            for (std::size_t ky = 0; ky < k_; ++ky) {
-              const std::ptrdiff_t iy =
-                  static_cast<std::ptrdiff_t>(oy + ky) -
-                  static_cast<std::ptrdiff_t>(pad_);
-              if (iy < 0 || iy >= static_cast<std::ptrdiff_t>(h)) continue;
-              for (std::size_t kx = 0; kx < k_; ++kx) {
-                const std::ptrdiff_t ix =
-                    static_cast<std::ptrdiff_t>(ox + kx) -
-                    static_cast<std::ptrdiff_t>(pad_);
-                if (ix < 0 || ix >= static_cast<std::ptrdiff_t>(w)) continue;
-                const auto iyu = static_cast<std::size_t>(iy);
-                const auto ixu = static_cast<std::size_t>(ix);
-                grad_w_.at4(co, ci, ky, kx) += g * x.at4(ni, ci, iyu, ixu);
-                grad_in.at4(ni, ci, iyu, ixu) += g * weight_.at4(co, ci, ky, kx);
-              }
-            }
-          }
-        }
-      }
-    }
+  // Gather dY into [Cout, N·Ho·Wo] (inverse of the forward scatter).
+  auto dy = arena.acquire(cout_ * ncols);
+  for (std::size_t co = 0; co < cout_; ++co)
+    for (std::size_t ni = 0; ni < n; ++ni)
+      std::memcpy(dy.data() + co * ncols + ni * how,
+                  grad_out.raw() + (ni * cout_ + co) * how,
+                  how * sizeof(float));
+
+  // db += row sums of dY.
+  for (std::size_t co = 0; co < cout_; ++co) {
+    const float* row = dy.data() + co * ncols;
+    double s = 0.0;
+    for (std::size_t i = 0; i < ncols; ++i) s += static_cast<double>(row[i]);
+    grad_b_[co] += static_cast<float>(s);
   }
+
+  // dW += dY · im2col(x)ᵀ. The im2col matrix is recomputed from the cached
+  // input (cheaper than holding it across the layer stack).
+  auto cols = arena.acquire(kdim * ncols);
+  detail::im2col(x.raw(), n, cin_, h, w, k_, pad_, cols.data());
+  auto gw = arena.acquire(cout_ * kdim);
+  detail::gemm(cout_, kdim, ncols, {dy.data(), ncols, 1},
+               {cols.data(), 1, ncols}, gw.data());
+  float* gwp = grad_w_.raw();
+  for (std::size_t i = 0; i < cout_ * kdim; ++i) gwp[i] += gw.data()[i];
+
+  // dX = col2im(Wᵀ · dY).
+  auto gcols = arena.acquire(kdim * ncols);
+  detail::gemm(kdim, ncols, cout_, {weight_.raw(), 1, kdim},
+               {dy.data(), ncols, 1}, gcols.data());
+  Tensor grad_in({n, cin_, h, w});
+  detail::col2im(gcols.data(), n, cin_, h, w, k_, pad_, grad_in.raw());
   return grad_in;
 }
 
@@ -124,6 +125,100 @@ std::unique_ptr<Layer> Conv2d::clone() const {
   copy->weight_ = weight_;
   copy->bias_ = bias_;
   return copy;
+}
+
+// ---------------- Reference oracles ----------------
+//
+// The pre-im2col loop nests. Per output pixel the valid [ky0, ky1) ×
+// [kx0, kx1) kernel window is computed once, so the padding bounds checks
+// that used to sit in the innermost loop are gone but the arithmetic (and
+// float accumulation order of the original forward) is unchanged.
+
+namespace {
+
+/// Valid kernel-offset interval for output coordinate o: the input
+/// coordinate o + kf − pad must land in [0, in).
+inline void kernel_range(std::size_t o, std::size_t in, std::size_t k,
+                         std::size_t pad, std::size_t& k0, std::size_t& k1) {
+  k0 = pad > o ? pad - o : 0;
+  k1 = (in + pad > o) ? std::min(k, in + pad - o) : 0;
+  if (k1 < k0) k1 = k0;
+}
+
+}  // namespace
+
+Tensor conv_reference_forward(const Tensor& x, const Tensor& weight,
+                              const Tensor& bias, std::size_t pad) {
+  const std::size_t n = x.dim(0), cin = x.dim(1), h = x.dim(2), w = x.dim(3);
+  const std::size_t cout = weight.dim(0), k = weight.dim(2);
+  const std::size_t ho = h + 2 * pad - k + 1, wo = w + 2 * pad - k + 1;
+  Tensor out({n, cout, ho, wo});
+  for (std::size_t ni = 0; ni < n; ++ni) {
+    for (std::size_t co = 0; co < cout; ++co) {
+      const float b = bias[co];
+      for (std::size_t oy = 0; oy < ho; ++oy) {
+        std::size_t ky0, ky1;
+        kernel_range(oy, h, k, pad, ky0, ky1);
+        for (std::size_t ox = 0; ox < wo; ++ox) {
+          std::size_t kx0, kx1;
+          kernel_range(ox, w, k, pad, kx0, kx1);
+          float acc = b;
+          for (std::size_t ci = 0; ci < cin; ++ci) {
+            for (std::size_t ky = ky0; ky < ky1; ++ky) {
+              const std::size_t iy = oy + ky - pad;
+              const float* xrow = x.raw() + ((ni * cin + ci) * h + iy) * w;
+              const float* wrow =
+                  weight.raw() + ((co * cin + ci) * k + ky) * k;
+              for (std::size_t kx = kx0; kx < kx1; ++kx)
+                acc += xrow[ox + kx - pad] * wrow[kx];
+            }
+          }
+          out.at4(ni, co, oy, ox) = acc;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor conv_reference_backward(const Tensor& x, const Tensor& weight,
+                               const Tensor& grad_out, std::size_t pad,
+                               Tensor& grad_w, Tensor& grad_b) {
+  const std::size_t n = x.dim(0), cin = x.dim(1), h = x.dim(2), w = x.dim(3);
+  const std::size_t cout = weight.dim(0), k = weight.dim(2);
+  const std::size_t ho = grad_out.dim(2), wo = grad_out.dim(3);
+  Tensor grad_in({n, cin, h, w});
+  for (std::size_t ni = 0; ni < n; ++ni) {
+    for (std::size_t co = 0; co < cout; ++co) {
+      for (std::size_t oy = 0; oy < ho; ++oy) {
+        std::size_t ky0, ky1;
+        kernel_range(oy, h, k, pad, ky0, ky1);
+        for (std::size_t ox = 0; ox < wo; ++ox) {
+          const float g = grad_out.at4(ni, co, oy, ox);
+          if (g == 0.0f) continue;
+          grad_b[co] += g;
+          std::size_t kx0, kx1;
+          kernel_range(ox, w, k, pad, kx0, kx1);
+          for (std::size_t ci = 0; ci < cin; ++ci) {
+            for (std::size_t ky = ky0; ky < ky1; ++ky) {
+              const std::size_t iy = oy + ky - pad;
+              const float* xrow = x.raw() + ((ni * cin + ci) * h + iy) * w;
+              float* grow = grad_in.raw() + ((ni * cin + ci) * h + iy) * w;
+              float* gwrow = grad_w.raw() + ((co * cin + ci) * k + ky) * k;
+              const float* wrow =
+                  weight.raw() + ((co * cin + ci) * k + ky) * k;
+              for (std::size_t kx = kx0; kx < kx1; ++kx) {
+                const std::size_t ix = ox + kx - pad;
+                gwrow[kx] += g * xrow[ix];
+                grow[ix] += g * wrow[kx];
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return grad_in;
 }
 
 // ---------------- MaxPool2d ----------------

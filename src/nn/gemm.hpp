@@ -1,0 +1,35 @@
+// Blocked, packed single-precision GEMM — the compute core behind
+// matmul/matmul_bt/matmul_at and the im2col convolution path.
+//
+// Scheme (GotoBLAS/BLIS): C is computed in Nc-wide column blocks; for each
+// Kc-deep slice, B is packed into Kc×NR column slivers (streamed from L1)
+// and A into MR-row slivers of an Mc×Kc panel (resident in L2). The
+// MR×NR micro-kernel is plain C with constant trip counts so the
+// autovectorizer lifts it to the widest SIMD the build allows (this
+// translation unit is compiled -O3 -ffast-math and, when supported,
+// -march=native — see src/CMakeLists.txt).
+//
+// Transposed operands are handled by the pack routines via strided views,
+// so A·B, A·Bᵀ, and Aᵀ·B share one kernel. Row panels of C are split over
+// runtime::ThreadPool for large shapes; each panel's accumulation order is
+// fixed, so results are bit-identical for any pool size.
+#pragma once
+
+#include <cstddef>
+
+namespace groupfel::nn::detail {
+
+/// Strided read-only matrix view: element (r, c) = p[r * rs + c * cs].
+struct MatView {
+  const float* p;
+  std::size_t rs;  ///< row stride
+  std::size_t cs;  ///< column stride
+};
+
+/// C (row-major m×n, leading dimension n) = A(m×k) · B(k×n), overwriting C.
+/// A and B are strided views, so callers express transposes as views of the
+/// untransposed storage.
+void gemm(std::size_t m, std::size_t n, std::size_t k, MatView a, MatView b,
+          float* c);
+
+}  // namespace groupfel::nn::detail

@@ -101,6 +101,10 @@ class Flatten final : public Layer {
 
 /// 2-D convolution with square kernel, stride 1, symmetric zero padding.
 /// Input [N, Cin, H, W] -> output [N, Cout, H', W'].
+/// Forward and backward lower to GEMM via im2col/col2im (nn/im2col.hpp);
+/// scratch comes from runtime::WorkspaceArena, so steady-state training
+/// does not allocate. The original loop nests live on as the
+/// conv_reference_* oracles below.
 class Conv2d final : public Layer {
  public:
   Conv2d(std::size_t in_channels, std::size_t out_channels,
@@ -122,6 +126,27 @@ class Conv2d final : public Layer {
   Tensor grad_w_, grad_b_;
   Tensor cached_input_;
 };
+
+// ---- Naive convolution oracles (conv.cpp) ----
+//
+// The original scalar loop nests, retained as the correctness reference for
+// the im2col path (tests/conv_reference_test.cpp, bench/micro_kernels).
+// Padding bounds are hoisted out of the kernel loops per output pixel so
+// the oracle itself is not pathologically slow at test scale.
+
+/// Reference forward: weight [Cout, Cin, k, k], bias [1, Cout].
+[[nodiscard]] Tensor conv_reference_forward(const Tensor& x,
+                                            const Tensor& weight,
+                                            const Tensor& bias,
+                                            std::size_t pad);
+
+/// Reference backward: accumulates into grad_w/grad_b (shaped like
+/// weight/bias) and returns dL/dx.
+[[nodiscard]] Tensor conv_reference_backward(const Tensor& x,
+                                             const Tensor& weight,
+                                             const Tensor& grad_out,
+                                             std::size_t pad, Tensor& grad_w,
+                                             Tensor& grad_b);
 
 /// Non-overlapping max pooling with square window.
 class MaxPool2d final : public Layer {

@@ -1,6 +1,8 @@
 #include "nn/tensor.hpp"
 
 #include <algorithm>
+
+#include "nn/gemm.hpp"
 #include <cmath>
 #include <numeric>
 #include <stdexcept>
@@ -72,6 +74,29 @@ void matmul(const Tensor& a, const Tensor& b, Tensor& out) {
   const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
   if (b.dim(0) != k || out.dim(0) != m || out.dim(1) != n)
     throw std::invalid_argument("matmul: shape mismatch");
+  detail::gemm(m, n, k, {a.raw(), k, 1}, {b.raw(), n, 1}, out.raw());
+}
+
+void matmul_bt(const Tensor& a, const Tensor& b, Tensor& out) {
+  // out[m, n] = a[m, k] * b[n, k]^T
+  const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(0);
+  if (b.dim(1) != k || out.dim(0) != m || out.dim(1) != n)
+    throw std::invalid_argument("matmul_bt: shape mismatch");
+  detail::gemm(m, n, k, {a.raw(), k, 1}, {b.raw(), 1, k}, out.raw());
+}
+
+void matmul_at(const Tensor& a, const Tensor& b, Tensor& out) {
+  // out[k, n] = a[m, k]^T * b[m, n]
+  const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  if (b.dim(0) != m || out.dim(0) != k || out.dim(1) != n)
+    throw std::invalid_argument("matmul_at: shape mismatch");
+  detail::gemm(k, n, m, {a.raw(), 1, k}, {b.raw(), n, 1}, out.raw());
+}
+
+void matmul_naive(const Tensor& a, const Tensor& b, Tensor& out) {
+  const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  if (b.dim(0) != k || out.dim(0) != m || out.dim(1) != n)
+    throw std::invalid_argument("matmul: shape mismatch");
   out.zero();
   const float* pa = a.raw();
   const float* pb = b.raw();
@@ -87,7 +112,7 @@ void matmul(const Tensor& a, const Tensor& b, Tensor& out) {
   }
 }
 
-void matmul_bt(const Tensor& a, const Tensor& b, Tensor& out) {
+void matmul_bt_naive(const Tensor& a, const Tensor& b, Tensor& out) {
   // out[m, n] = a[m, k] * b[n, k]^T
   const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(0);
   if (b.dim(1) != k || out.dim(0) != m || out.dim(1) != n)
@@ -99,14 +124,29 @@ void matmul_bt(const Tensor& a, const Tensor& b, Tensor& out) {
     for (std::size_t j = 0; j < n; ++j) {
       const float* arow = pa + i * k;
       const float* brow = pb + j * k;
-      float acc = 0.0f;
-      for (std::size_t kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
-      po[i * n + j] = acc;
+      // Four independent double-precision lanes: the reduction vectorizes
+      // (no loop-carried dependence between lanes) and accumulates like
+      // Tensor::l2_norm, so long dot products do not drift in fp32.
+      double acc0 = 0.0, acc1 = 0.0, acc2 = 0.0, acc3 = 0.0;
+      std::size_t kk = 0;
+      for (; kk + 4 <= k; kk += 4) {
+        acc0 += static_cast<double>(arow[kk]) * static_cast<double>(brow[kk]);
+        acc1 += static_cast<double>(arow[kk + 1]) *
+                static_cast<double>(brow[kk + 1]);
+        acc2 += static_cast<double>(arow[kk + 2]) *
+                static_cast<double>(brow[kk + 2]);
+        acc3 += static_cast<double>(arow[kk + 3]) *
+                static_cast<double>(brow[kk + 3]);
+      }
+      double acc = (acc0 + acc1) + (acc2 + acc3);
+      for (; kk < k; ++kk)
+        acc += static_cast<double>(arow[kk]) * static_cast<double>(brow[kk]);
+      po[i * n + j] = static_cast<float>(acc);
     }
   }
 }
 
-void matmul_at(const Tensor& a, const Tensor& b, Tensor& out) {
+void matmul_at_naive(const Tensor& a, const Tensor& b, Tensor& out) {
   // out[k, n] = a[m, k]^T * b[m, n]
   const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
   if (b.dim(0) != m || out.dim(0) != k || out.dim(1) != n)

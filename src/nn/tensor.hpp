@@ -76,8 +76,9 @@ class Tensor {
 /// Product of dimensions.
 [[nodiscard]] std::size_t shape_size(std::span<const std::size_t> shape) noexcept;
 
-/// C = A(,m×k) · B(k×n) into a [m, n] tensor; plain triple loop with the
-/// k-inner layout that vectorizes well under -O2.
+/// C = A(m×k) · B(k×n) into a [m, n] tensor. Backed by the blocked, packed
+/// GEMM in nn/gemm.cpp; splits row panels over runtime::ThreadPool for
+/// large shapes (bit-identical results for any pool size).
 void matmul(const Tensor& a, const Tensor& b, Tensor& out);
 
 /// C = A(m×k) · Bᵀ where B is (n×k); used by dense backward.
@@ -85,5 +86,12 @@ void matmul_bt(const Tensor& a, const Tensor& b, Tensor& out);
 
 /// C = Aᵀ(k×m becomes m rows) · B; used for weight gradients.
 void matmul_at(const Tensor& a, const Tensor& b, Tensor& out);
+
+// Naive triple-loop oracles for the kernels above. Retained as the
+// correctness reference for tests and the baseline for bench/micro_kernels;
+// not used on any training path.
+void matmul_naive(const Tensor& a, const Tensor& b, Tensor& out);
+void matmul_bt_naive(const Tensor& a, const Tensor& b, Tensor& out);
+void matmul_at_naive(const Tensor& a, const Tensor& b, Tensor& out);
 
 }  // namespace groupfel::nn

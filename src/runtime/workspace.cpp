@@ -1,0 +1,83 @@
+#include "runtime/workspace.hpp"
+
+#include <algorithm>
+
+namespace groupfel::runtime {
+
+WorkspaceArena::Buffer& WorkspaceArena::Buffer::operator=(
+    Buffer&& other) noexcept {
+  if (this != &other) {
+    release();
+    arena_ = other.arena_;
+    storage_ = std::move(other.storage_);
+    size_ = other.size_;
+    other.arena_ = nullptr;
+    other.size_ = 0;
+  }
+  return *this;
+}
+
+void WorkspaceArena::Buffer::zero() noexcept {
+  std::fill_n(storage_.data(), size_, 0.0f);
+}
+
+void WorkspaceArena::Buffer::release() noexcept {
+  if (arena_ != nullptr) {
+    arena_->put_back(std::move(storage_));
+    arena_ = nullptr;
+    size_ = 0;
+  }
+}
+
+WorkspaceArena::Buffer WorkspaceArena::acquire(std::size_t n) {
+  ++acquires_;
+  // Best fit over the (short) free list: the smallest parked buffer that
+  // already holds n floats, so one huge im2col buffer is not burned on a
+  // 4-float bias staging request.
+  std::size_t best = free_list_.size();
+  for (std::size_t i = 0; i < free_list_.size(); ++i) {
+    if (free_list_[i].capacity() >= n &&
+        (best == free_list_.size() ||
+         free_list_[i].capacity() < free_list_[best].capacity()))
+      best = i;
+  }
+  std::vector<float> storage;
+  if (best < free_list_.size()) {
+    storage = std::move(free_list_[best]);
+    free_list_.erase(free_list_.begin() +
+                     static_cast<std::ptrdiff_t>(best));
+    ++reuses_;
+  } else if (!free_list_.empty()) {
+    // Grow the largest parked buffer instead of allocating a fresh one.
+    auto it = std::max_element(free_list_.begin(), free_list_.end(),
+                               [](const auto& a, const auto& b) {
+                                 return a.capacity() < b.capacity();
+                               });
+    storage = std::move(*it);
+    free_list_.erase(it);
+  }
+  // resize (not reserve): Buffer hands out data() whose first n elements
+  // must be legal to read/write without tripping vector debug checks.
+  if (storage.size() < n) storage.resize(n);
+  return Buffer(this, std::move(storage), n);
+}
+
+void WorkspaceArena::put_back(std::vector<float> storage) noexcept {
+  // Bound the parked set; kernels nest at most a handful of buffers.
+  constexpr std::size_t kMaxParked = 16;
+  if (free_list_.size() >= kMaxParked) return;  // let it free
+  free_list_.push_back(std::move(storage));
+}
+
+std::size_t WorkspaceArena::free_capacity() const noexcept {
+  std::size_t total = 0;
+  for (const auto& v : free_list_) total += v.capacity();
+  return total;
+}
+
+WorkspaceArena& WorkspaceArena::local() {
+  thread_local WorkspaceArena arena;
+  return arena;
+}
+
+}  // namespace groupfel::runtime

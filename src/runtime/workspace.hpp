@@ -1,0 +1,97 @@
+// Per-thread scratch-buffer arena for the NN kernel layer.
+//
+// The T×K×E training loop calls the same kernels (GEMM packing, im2col,
+// conv weight-gradient staging) millions of times with identical shapes.
+// Allocating those scratch buffers as fresh Tensors / vectors on every call
+// churns the allocator and dominates small-shape kernel time. The arena
+// keeps a per-thread free list of float buffers and hands them out
+// high-water sized: after the first round every acquire is a pointer pop.
+//
+// Lifetime rules (see docs/DEVELOPMENT.md "Kernel architecture"):
+//  - `WorkspaceArena::local()` returns the calling thread's arena; buffers
+//    must be released on the thread that acquired them. The RAII `Buffer`
+//    handle enforces this by construction — it is move-only and returns its
+//    storage to the owning arena on destruction.
+//  - Buffers may nest (conv acquires an im2col buffer, then the GEMM inside
+//    acquires pack buffers): each acquire gets distinct storage.
+//  - Contents are uninitialized on acquire; callers that need zeros must
+//    clear explicitly.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace groupfel::runtime {
+
+class WorkspaceArena {
+ public:
+  /// Move-only RAII checkout; returns its storage to the arena at scope end.
+  class Buffer {
+   public:
+    Buffer() = default;
+    Buffer(Buffer&& other) noexcept
+        : arena_(other.arena_), storage_(std::move(other.storage_)),
+          size_(other.size_) {
+      other.arena_ = nullptr;
+      other.size_ = 0;
+    }
+    Buffer& operator=(Buffer&& other) noexcept;
+    Buffer(const Buffer&) = delete;
+    Buffer& operator=(const Buffer&) = delete;
+    ~Buffer() { release(); }
+
+    [[nodiscard]] float* data() noexcept { return storage_.data(); }
+    [[nodiscard]] const float* data() const noexcept { return storage_.data(); }
+    /// Requested size (storage capacity may be larger from reuse).
+    [[nodiscard]] std::size_t size() const noexcept { return size_; }
+    [[nodiscard]] std::span<float> span() noexcept {
+      return {storage_.data(), size_};
+    }
+    void zero() noexcept;
+
+   private:
+    friend class WorkspaceArena;
+    Buffer(WorkspaceArena* arena, std::vector<float> storage, std::size_t n)
+        : arena_(arena), storage_(std::move(storage)), size_(n) {}
+    void release() noexcept;
+
+    WorkspaceArena* arena_ = nullptr;
+    std::vector<float> storage_;
+    std::size_t size_ = 0;
+  };
+
+  WorkspaceArena() = default;
+  WorkspaceArena(const WorkspaceArena&) = delete;
+  WorkspaceArena& operator=(const WorkspaceArena&) = delete;
+
+  /// Checks out a buffer of at least `n` floats (uninitialized contents).
+  [[nodiscard]] Buffer acquire(std::size_t n);
+
+  /// The calling thread's arena (thread_local: no locking, worker threads
+  /// keep their scratch warm across parallel_for bodies).
+  static WorkspaceArena& local();
+
+  // ---- introspection (tests / bench) ----
+  /// Buffers handed out over the arena's lifetime.
+  [[nodiscard]] std::size_t acquires() const noexcept { return acquires_; }
+  /// Acquires served without growing any buffer's capacity.
+  [[nodiscard]] std::size_t reuses() const noexcept { return reuses_; }
+  /// Buffers currently parked in the free list.
+  [[nodiscard]] std::size_t free_count() const noexcept {
+    return free_list_.size();
+  }
+  /// Total float capacity parked in the free list.
+  [[nodiscard]] std::size_t free_capacity() const noexcept;
+  /// Drops all parked buffers (checked-out ones are unaffected).
+  void trim() noexcept { free_list_.clear(); }
+
+ private:
+  void put_back(std::vector<float> storage) noexcept;
+
+  std::vector<std::vector<float>> free_list_;
+  std::size_t acquires_ = 0;
+  std::size_t reuses_ = 0;
+};
+
+}  // namespace groupfel::runtime

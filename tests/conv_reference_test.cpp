@@ -4,6 +4,9 @@
 // indexing bug cannot hide.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
+
 #include "nn/layer.hpp"
 
 namespace groupfel::nn {
@@ -82,6 +85,83 @@ INSTANTIATE_TEST_SUITE_P(
                       ConvCase{4, 2, 3, 1, 5, 7, 3},    // non-square input
                       ConvCase{1, 8, 3, 1, 16, 16, 1},  // many filters
                       ConvCase{8, 1, 1, 0, 3, 3, 2}));  // channel mix only
+
+TEST_P(ConvReferenceTest, ForwardMatchesExportedOracle) {
+  // conv_reference_forward is the baseline bench/micro_kernels measures
+  // against; it must agree with the im2col layer path too.
+  const ConvCase c = GetParam();
+  runtime::Rng rng(c.cin * 977 + c.cout * 31 + c.k);
+  Conv2d conv(c.cin, c.cout, c.k, c.pad);
+  conv.init(rng);
+  Tensor weight, bias;
+  int visit = 0;
+  conv.for_each_param([&](Tensor& p, Tensor&) {
+    if (visit++ == 0)
+      weight = p;
+    else
+      bias = p;
+  });
+  Tensor x({c.batch, c.cin, c.h, c.w});
+  for (auto& v : x.data()) v = static_cast<float>(rng.normal());
+
+  const Tensor got = conv.forward(x, false);
+  const Tensor want = conv_reference_forward(x, weight, bias, c.pad);
+  ASSERT_EQ(got.shape(), want.shape());
+  for (std::size_t i = 0; i < got.size(); ++i)
+    EXPECT_NEAR(got[i], want[i], 1e-4f * std::max(1.0f, std::fabs(want[i])))
+        << "at flat index " << i;
+}
+
+TEST_P(ConvReferenceTest, BackwardMatchesReferenceOracle) {
+  // The im2col/col2im backward (input grad + accumulated weight/bias grads)
+  // against the retained naive loop nests.
+  const ConvCase c = GetParam();
+  runtime::Rng rng(c.cin * 499 + c.cout * 61 + c.k + c.pad);
+  Conv2d conv(c.cin, c.cout, c.k, c.pad);
+  conv.init(rng);
+  Tensor weight, bias;
+  int visit = 0;
+  conv.for_each_param([&](Tensor& p, Tensor&) {
+    if (visit++ == 0)
+      weight = p;
+    else
+      bias = p;
+  });
+
+  Tensor x({c.batch, c.cin, c.h, c.w});
+  for (auto& v : x.data()) v = static_cast<float>(rng.normal());
+  const std::size_t ho = c.h + 2 * c.pad - c.k + 1;
+  const std::size_t wo = c.w + 2 * c.pad - c.k + 1;
+  Tensor g({c.batch, c.cout, ho, wo});
+  for (auto& v : g.data()) v = static_cast<float>(rng.normal());
+
+  (void)conv.forward(x, true);
+  const Tensor grad_in = conv.backward(g);
+  Tensor grad_w, grad_b;
+  visit = 0;
+  conv.for_each_param([&](Tensor&, Tensor& grad) {
+    if (visit++ == 0)
+      grad_w = grad;
+    else
+      grad_b = grad;
+  });
+
+  Tensor want_gw({c.cout, c.cin, c.k, c.k});
+  Tensor want_gb({std::size_t{1}, c.cout});
+  const Tensor want_gin =
+      conv_reference_backward(x, weight, g, c.pad, want_gw, want_gb);
+
+  ASSERT_EQ(grad_in.shape(), want_gin.shape());
+  const auto tol = [](float want) {
+    return 1e-4f * std::max(1.0f, std::fabs(want));
+  };
+  for (std::size_t i = 0; i < grad_in.size(); ++i)
+    EXPECT_NEAR(grad_in[i], want_gin[i], tol(want_gin[i])) << "grad_in " << i;
+  for (std::size_t i = 0; i < grad_w.size(); ++i)
+    EXPECT_NEAR(grad_w[i], want_gw[i], tol(want_gw[i])) << "grad_w " << i;
+  for (std::size_t i = 0; i < grad_b.size(); ++i)
+    EXPECT_NEAR(grad_b[i], want_gb[i], tol(want_gb[i])) << "grad_b " << i;
+}
 
 TEST(ConvReference, GradientAccumulationMatchesTwoPasses) {
   // Backward accumulates: two backward passes double the gradients.

@@ -1,0 +1,103 @@
+// WorkspaceArena: per-thread scratch reuse for the NN kernel layer.
+// Exercises the checkout/return lifecycle, reuse accounting, nesting, move
+// semantics, and the thread_local `local()` accessor.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "runtime/workspace.hpp"
+
+namespace groupfel::runtime {
+namespace {
+
+TEST(WorkspaceArena, AcquireGivesRequestedSize) {
+  WorkspaceArena arena;
+  auto buf = arena.acquire(123);
+  EXPECT_EQ(buf.size(), 123u);
+  EXPECT_NE(buf.data(), nullptr);
+  EXPECT_EQ(buf.span().size(), 123u);
+  EXPECT_EQ(arena.acquires(), 1u);
+  EXPECT_EQ(arena.reuses(), 0u);
+}
+
+TEST(WorkspaceArena, ReleasedStorageIsReused) {
+  WorkspaceArena arena;
+  const float* first_ptr = nullptr;
+  {
+    auto buf = arena.acquire(256);
+    first_ptr = buf.data();
+  }
+  EXPECT_EQ(arena.free_count(), 1u);
+  // A smaller request must be served from the parked buffer, same storage.
+  auto again = arena.acquire(100);
+  EXPECT_EQ(again.data(), first_ptr);
+  EXPECT_EQ(again.size(), 100u);
+  EXPECT_EQ(arena.reuses(), 1u);
+  EXPECT_EQ(arena.free_count(), 0u);
+}
+
+TEST(WorkspaceArena, SteadyStateStopsGrowing) {
+  // After a warm-up round with the session's working-set shapes, every
+  // further acquire is a reuse — the property the training loop relies on.
+  WorkspaceArena arena;
+  const std::size_t shapes[] = {512, 64, 2048, 256};
+  for (std::size_t s : shapes) { auto b = arena.acquire(s); (void)b; }
+  const std::size_t grown = arena.acquires() - arena.reuses();
+  for (int round = 0; round < 10; ++round)
+    for (std::size_t s : shapes) { auto b = arena.acquire(s); (void)b; }
+  EXPECT_EQ(arena.acquires() - arena.reuses(), grown);
+}
+
+TEST(WorkspaceArena, NestedAcquiresGetDistinctStorage) {
+  WorkspaceArena arena;
+  auto outer = arena.acquire(64);
+  auto inner = arena.acquire(64);
+  EXPECT_NE(outer.data(), inner.data());
+  outer.span()[0] = 1.0f;
+  inner.span()[0] = 2.0f;
+  EXPECT_EQ(outer.span()[0], 1.0f);
+}
+
+TEST(WorkspaceArena, ZeroClearsRequestedSpan) {
+  WorkspaceArena arena;
+  {
+    auto buf = arena.acquire(32);
+    for (auto& v : buf.span()) v = 7.0f;
+  }
+  auto buf = arena.acquire(32);  // reused storage, stale contents
+  buf.zero();
+  for (float v : buf.span()) EXPECT_EQ(v, 0.0f);
+}
+
+TEST(WorkspaceArena, MovedFromBufferDoesNotDoubleRelease) {
+  WorkspaceArena arena;
+  {
+    auto a = arena.acquire(16);
+    auto b = std::move(a);
+    EXPECT_EQ(b.size(), 16u);
+  }  // only `b` returns storage
+  EXPECT_EQ(arena.free_count(), 1u);
+}
+
+TEST(WorkspaceArena, TrimDropsParkedBuffers) {
+  WorkspaceArena arena;
+  { auto b = arena.acquire(128); (void)b; }
+  EXPECT_EQ(arena.free_count(), 1u);
+  EXPECT_GE(arena.free_capacity(), 128u);
+  arena.trim();
+  EXPECT_EQ(arena.free_count(), 0u);
+  EXPECT_EQ(arena.free_capacity(), 0u);
+}
+
+TEST(WorkspaceArena, LocalIsPerThread) {
+  WorkspaceArena* main_arena = &WorkspaceArena::local();
+  WorkspaceArena* worker_arena = nullptr;
+  std::thread t([&] { worker_arena = &WorkspaceArena::local(); });
+  t.join();
+  EXPECT_NE(main_arena, nullptr);
+  EXPECT_NE(worker_arena, nullptr);
+  EXPECT_NE(main_arena, worker_arena);
+}
+
+}  // namespace
+}  // namespace groupfel::runtime
