@@ -14,6 +14,7 @@
 // MLP surrogate's forward/backward (eval batch 256, feature 32, hidden 64),
 // and the im2col'd first layers of ResNet3 (CIFAR task) and CNN5 (Speech
 // Commands task) at batch 32.
+#include <atomic>
 #include <cmath>
 #include <fstream>
 #include <iostream>
@@ -46,12 +47,12 @@ struct KernelReport {
   std::string note;
 };
 
-bool g_smoke = false;
+std::atomic<bool> g_smoke{false};
 
 /// Best-of-reps seconds per call; reps shrink to 1 under --smoke.
 template <typename Fn>
 double time_best(Fn&& fn, std::size_t reps) {
-  if (g_smoke) reps = 1;
+  if (g_smoke.load()) reps = 1;
   double best = 1e300;
   for (std::size_t r = 0; r < reps; ++r) {
     runtime::Timer t;

@@ -3,10 +3,10 @@
 // one-stop driver for users who want to explore configurations without
 // writing C++.
 //
-//   ./groupfel_cli --method=Group-FEL --task=cifar --clients=120 \
-//                  --alpha=0.05 --rounds=30 --k=5 --e=2 --s=6 \
-//                  --min-gs=5 --max-cov=1.0 --sampling=ESRCoV \
-//                  --aggregation=biased --dropout=0.0 --budget=0 \
+//   ./groupfel_cli --method=Group-FEL --task=cifar --clients=120
+//                  --alpha=0.05 --rounds=30 --k=5 --e=2 --s=6
+//                  --min-gs=5 --max-cov=1.0 --sampling=ESRCoV
+//                  --aggregation=biased --dropout=0.0 --budget=0
 //                  --out=run.csv --checkpoint=model.bin
 //
 // Every flag is optional; defaults reproduce the paper-style CIFAR setup.

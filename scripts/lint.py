@@ -1,0 +1,233 @@
+#!/usr/bin/env python3
+"""Repo-specific invariant lint for the groupfel C++ tree.
+
+Registered as the `lint_invariants` ctest (label: lint). Walks src/, bench/,
+and tests/ and fails on violations of the repo's correctness rules, which no
+generic tool checks:
+
+  banned-rng        Wall-clock or stateful-global randomness on simulation
+                    paths: rand()/srand(), std::mt19937*, time(),
+                    std::random_device. Simulation code must derive all
+                    randomness from counter-based runtime::Rng streams
+                    (xoshiro256++ seeded via splitmix64) keyed by logical
+                    index, or results stop being reproducible bit-for-bit
+                    across pool sizes (see src/runtime/rng.hpp).
+  global-state      Mutable namespace-scope state that is not const,
+                    std::atomic, a lock type, or thread_local: invisible
+                    cross-thread coupling that the ThreadPool fan-out turns
+                    into races.
+  naked-new         `new` outside an immediate smart-pointer wrap, or any
+                    `delete` expression: ownership the WorkspaceArena /
+                    unique_ptr conventions are supposed to make impossible.
+  include-guard     Headers without `#pragma once`.
+
+Suppression: append `// lint:allow(<rule>)` to the offending line with a
+justification nearby (policy in docs/DEVELOPMENT.md). Zero findings is the
+merge bar; the suppression list is part of the diff reviewers see.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+LINT_DIRS = ("src", "bench", "tests")
+CPP_SUFFIXES = {".cpp", ".hpp", ".h", ".cc", ".cxx"}
+
+ALLOW_RE = re.compile(r"//\s*lint:allow\(([\w,-]+)\)")
+
+BANNED_RNG = [
+    (re.compile(r"(?<![\w:])s?rand\s*\("), "rand()/srand()"),
+    (re.compile(r"std::mt19937"), "std::mt19937"),
+    (re.compile(r"(?<![\w.])time\s*\("), "time()"),
+    (re.compile(r"std::random_device"), "std::random_device"),
+    (re.compile(r"std::default_random_engine"), "std::default_random_engine"),
+]
+
+# Namespace-scope declarations with any of these tokens are allowed mutable
+# state: synchronized, thread-confined, or immutable.
+GLOBAL_OK = re.compile(
+    r"\b(const|constexpr|constinit|thread_local|std::atomic|std::mutex|"
+    r"std::shared_mutex|std::recursive_mutex|std::once_flag|"
+    r"std::condition_variable)\b"
+)
+GLOBAL_IGNORE_START = (
+    "using", "typedef", "class", "struct", "enum", "template", "extern",
+    "static_assert", "friend", "namespace", "inline namespace", "return",
+    "public", "private", "protected",
+)
+GLOBAL_DECL = re.compile(r"^(?:static\s+)?[\w:<>,*&\s]+?[\s*&](\w+)\s*(?:=[^;]*|\{[^;]*\})?$")
+
+SMART_WRAP = re.compile(r"(unique_ptr|shared_ptr|make_unique|make_shared)")
+DELETED_FN = re.compile(r"=\s*delete\b|operator\s+delete")
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blanks comments and string/char literals, preserving line structure."""
+    out: list[str] = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "/" and nxt == "/":
+            j = text.find("\n", i)
+            j = n if j == -1 else j
+            out.append(" " * (j - i))
+            i = j
+        elif c == "/" and nxt == "*":
+            j = text.find("*/", i + 2)
+            j = n - 2 if j == -1 else j
+            seg = text[i : j + 2]
+            out.append("".join(ch if ch == "\n" else " " for ch in seg))
+            i = j + 2
+        elif c == 'R' and text[i : i + 3] == 'R"(':
+            j = text.find(')"', i + 3)
+            j = n - 2 if j == -1 else j
+            seg = text[i : j + 2]
+            out.append("".join(ch if ch == "\n" else " " for ch in seg))
+            i = j + 2
+        elif c in "\"'":
+            quote = c
+            j = i + 1
+            while j < n and text[j] != quote:
+                j += 2 if text[j] == "\\" else 1
+            seg = text[i : j + 1]
+            out.append("".join(ch if ch == "\n" else " " for ch in seg))
+            i = j + 1
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def namespace_scope_lines(text: str) -> set[int]:
+    """1-based line numbers whose enclosing braces are all namespace blocks."""
+    scope_lines: set[int] = set()
+    stack: list[bool] = []  # True = namespace block
+    line = 1
+    last_boundary = 0  # index just past the previous {, }, or ;
+    for i, c in enumerate(text):
+        if c == "\n":
+            line += 1
+        elif c == "{":
+            head = text[last_boundary:i]
+            is_ns = re.search(r"\bnamespace\b[^;{}()]*$", head) is not None
+            stack.append(is_ns)
+            last_boundary = i + 1
+        elif c == "}":
+            if stack:
+                stack.pop()
+            last_boundary = i + 1
+        elif c == ";":
+            last_boundary = i + 1
+        if c == "\n" and all(stack):
+            scope_lines.add(line)
+    return scope_lines
+
+
+class Finding:
+    def __init__(self, path: Path, line: int, rule: str, msg: str):
+        self.path, self.line, self.rule, self.msg = path, line, rule, msg
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.msg}"
+
+
+def allowed(raw_line: str, rule: str) -> bool:
+    m = ALLOW_RE.search(raw_line)
+    return bool(m) and rule in m.group(1).split(",")
+
+
+def lint_file(path: Path) -> list[Finding]:
+    raw = path.read_text(encoding="utf-8", errors="replace")
+    raw_lines = raw.splitlines()
+    clean = strip_comments_and_strings(raw)
+    clean_lines = clean.splitlines()
+    findings: list[Finding] = []
+
+    def emit(lineno: int, rule: str, msg: str) -> None:
+        raw_line = raw_lines[lineno - 1] if lineno - 1 < len(raw_lines) else ""
+        if not allowed(raw_line, rule):
+            findings.append(Finding(path, lineno, rule, msg))
+
+    # include-guard
+    if path.suffix in {".hpp", ".h"} and "#pragma once" not in raw:
+        findings.append(
+            Finding(path, 1, "include-guard", "header lacks `#pragma once`"))
+
+    for lineno, text in enumerate(clean_lines, start=1):
+        # banned-rng
+        for pat, label in BANNED_RNG:
+            if pat.search(text):
+                emit(lineno, "banned-rng",
+                     f"{label} on a simulation path; use runtime::Rng "
+                     "(counter-based xoshiro/splitmix) keyed by logical index")
+        # naked-new
+        if re.search(r"(?<![\w.])new\b(?!\s*\()", text) and not SMART_WRAP.search(text):
+            emit(lineno, "naked-new",
+                 "`new` outside an immediate unique_ptr/shared_ptr wrap")
+        if re.search(r"(?<![\w.])delete\b", text) and not DELETED_FN.search(text):
+            emit(lineno, "naked-new", "`delete` expression; use RAII ownership")
+
+    # global-state: namespace-scope statements in implementation files.
+    ns_lines = namespace_scope_lines(clean)
+    statement: list[tuple[int, str]] = []
+    for lineno, text in enumerate(clean_lines, start=1):
+        if lineno not in ns_lines:
+            statement = []
+            continue
+        stripped = text.strip()
+        if not stripped or stripped.startswith("#"):
+            continue
+        statement.append((lineno, stripped))
+        if not stripped.endswith(";"):
+            continue
+        first_line, joined = statement[0][0], " ".join(s for _, s in statement)
+        statement = []
+        body = joined.rstrip(";").strip()
+        if not body or body.startswith(GLOBAL_IGNORE_START):
+            continue
+        if "(" in body.split("=")[0]:  # function decl / paren-init skipped
+            continue
+        if GLOBAL_OK.search(body):
+            continue
+        if GLOBAL_DECL.match(body):
+            emit(first_line, "global-state",
+                 "mutable namespace-scope state without a lock, std::atomic, "
+                 "or thread_local")
+
+    return findings
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--root", type=Path, default=Path(__file__).resolve().parents[1],
+                    help="repository root (default: the checkout containing this script)")
+    ap.add_argument("paths", nargs="*", type=Path,
+                    help="explicit files to lint (default: walk %s)" % (LINT_DIRS,))
+    args = ap.parse_args()
+
+    if args.paths:
+        files = [p for p in args.paths if p.suffix in CPP_SUFFIXES]
+    else:
+        files = [
+            p
+            for d in LINT_DIRS
+            for p in sorted((args.root / d).rglob("*"))
+            if p.suffix in CPP_SUFFIXES
+        ]
+
+    findings: list[Finding] = []
+    for f in files:
+        findings.extend(lint_file(f))
+
+    for fd in findings:
+        print(fd)
+    print(f"lint.py: {len(files)} files, {len(findings)} finding(s)")
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,12 +1,12 @@
 #include "core/cloud.hpp"
 
-#include <stdexcept>
+#include "util/check.hpp"
 
 namespace groupfel::core {
 
 void Cloud::set_groups(std::vector<FormedGroup> groups) {
   groups_ = std::move(groups);
-  if (groups_.empty()) throw std::invalid_argument("Cloud: no groups");
+  GF_CHECK(!groups_.empty(), "Cloud: no groups");
   std::vector<double> covs;
   covs.reserve(groups_.size());
   group_sizes_.clear();
@@ -25,8 +25,11 @@ std::vector<std::size_t> Cloud::sample(std::size_t s,
 std::vector<float> Cloud::aggregate(
     std::span<const std::size_t> sampled,
     const std::vector<std::vector<float>>& group_models) const {
-  if (sampled.size() != group_models.size())
-    throw std::invalid_argument("Cloud::aggregate: arity mismatch");
+  GF_CHECK_EQ(sampled.size(), group_models.size(),
+              "Cloud::aggregate: one model per sampled group");
+  for (std::size_t i = 0; i < sampled.size(); ++i)
+    GF_CHECK(sampled[i] < groups_.size(), "Cloud::aggregate: group index ",
+             sampled[i], " out of range [0, ", groups_.size(), ")");
   const std::vector<double> w = sampling::aggregation_weights(
       aggregation_, sampled, p_, group_sizes_);
   return nn::weighted_average(group_models, w);

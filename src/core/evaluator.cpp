@@ -27,7 +27,7 @@ BatchStat eval_batch(nn::Model& model, const data::DataSet& test,
 }  // namespace
 
 EvalResult evaluate(nn::Model& model, const data::DataSet& test,
-                    std::size_t batch_size) {
+                    std::size_t batch_size, runtime::ThreadPool* pool) {
   EvalResult res;
   if (test.size() == 0) return res;
   if (batch_size == 0) batch_size = test.size();
@@ -41,9 +41,9 @@ EvalResult evaluate(nn::Model& model, const data::DataSet& test,
   // across threads would race) and writes only its own batches' slots; the
   // reduction below runs in fixed batch order, so the result is
   // bit-identical to the serial path for any pool size.
-  auto& pool = runtime::ThreadPool::global();
+  if (pool == nullptr) pool = &runtime::ThreadPool::global();
   const std::size_t chunks = std::min(
-      pool.size() > 0 ? pool.size() : std::size_t{1}, num_batches);
+      pool->size() > 0 ? pool->size() : std::size_t{1}, num_batches);
   if (chunks <= 1) {
     for (std::size_t bi = 0; bi < num_batches; ++bi) {
       const std::size_t start = bi * batch_size;
@@ -51,7 +51,7 @@ EvalResult evaluate(nn::Model& model, const data::DataSet& test,
                              std::min(test.size(), start + batch_size));
     }
   } else {
-    pool.parallel_for(chunks, [&](std::size_t c) {
+    pool->parallel_for(chunks, [&](std::size_t c) {
       nn::Model replica = model.clone();
       for (std::size_t bi = c; bi < num_batches; bi += chunks) {
         const std::size_t start = bi * batch_size;

@@ -3,6 +3,7 @@
 
 #include "data/dataset.hpp"
 #include "nn/model.hpp"
+#include "runtime/thread_pool.hpp"
 
 namespace groupfel::core {
 
@@ -12,7 +13,11 @@ struct EvalResult {
 };
 
 /// Evaluates `model` on the whole `test` set with the given batch size.
+/// Batches are fanned out over `pool` (the shared global pool when null);
+/// the reduction runs in fixed batch order, so the result is bit-identical
+/// for any pool size — tests/thread_pool_edge_test.cpp pins this down.
 [[nodiscard]] EvalResult evaluate(nn::Model& model, const data::DataSet& test,
-                                  std::size_t batch_size = 256);
+                                  std::size_t batch_size = 256,
+                                  runtime::ThreadPool* pool = nullptr);
 
 }  // namespace groupfel::core

@@ -8,6 +8,7 @@
 #include "runtime/thread_pool.hpp"
 #include "net/network_model.hpp"
 #include "secagg/secure_aggregator.hpp"
+#include "util/check.hpp"
 #include "util/logging.hpp"
 
 namespace groupfel::core {
@@ -201,6 +202,9 @@ GroupFelTrainer::GroupRun GroupFelTrainer::run_group(
       std::vector<double> weights;
       surviving_models.reserve(survivors.size());
       for (auto m : survivors) {
+        GF_CHECK_EQ(locals[m].size(), run.params.size(),
+                    "group aggregation: client ", group.clients[m],
+                    " returned a flat vector of the wrong length");
         surviving_models.push_back(std::move(locals[m]));
         weights.push_back(
             static_cast<double>(topo_.shards[group.clients[m]].size()) /

@@ -1,11 +1,15 @@
 #include <stdexcept>
 
 #include "grouping/grouping.hpp"
+#include "util/check.hpp"
 
 namespace groupfel::grouping {
 
 Grouping form_groups(GroupingMethod method, const data::LabelMatrix& matrix,
                      const GroupingParams& params, runtime::Rng& rng) {
+  GF_CHECK(params.min_group_size >= 1,
+           "form_groups: min_group_size must be >= 1");
+  GF_CHECK(matrix.num_clients() > 0, "form_groups: no clients");
   switch (method) {
     case GroupingMethod::kRandom: return random_grouping(matrix, params, rng);
     case GroupingMethod::kCdg: return cdg_grouping(matrix, params, rng);
@@ -36,19 +40,20 @@ GroupingMethod grouping_method_from_string(const std::string& name) {
 void validate_partition(const Grouping& grouping, std::size_t num_clients) {
   std::vector<bool> seen(num_clients, false);
   std::size_t total = 0;
-  for (const auto& g : grouping) {
-    if (g.empty()) throw std::logic_error("validate_partition: empty group");
+  for (std::size_t gi = 0; gi < grouping.size(); ++gi) {
+    const auto& g = grouping[gi];
+    GF_CHECK(!g.empty(), "validate_partition: group ", gi, " is empty");
     for (auto c : g) {
-      if (c >= num_clients)
-        throw std::logic_error("validate_partition: client out of range");
-      if (seen[c])
-        throw std::logic_error("validate_partition: client in two groups");
+      GF_CHECK(c < num_clients, "validate_partition: client ", c,
+               " out of range [0, ", num_clients, ")");
+      GF_CHECK(!seen[c], "validate_partition: client ", c,
+               " appears in two groups");
       seen[c] = true;
       ++total;
     }
   }
-  if (total != num_clients)
-    throw std::logic_error("validate_partition: not all clients grouped");
+  GF_CHECK_EQ(total, num_clients,
+              "validate_partition: not all clients grouped");
 }
 
 GroupingSummary summarize(const data::LabelMatrix& matrix,

@@ -8,6 +8,7 @@
 #include "nn/im2col.hpp"
 #include "nn/layer.hpp"
 #include "runtime/workspace.hpp"
+#include "util/check.hpp"
 
 namespace groupfel::nn {
 
@@ -32,12 +33,13 @@ void Conv2d::init(runtime::Rng& rng) {
 }
 
 Tensor Conv2d::forward(const Tensor& input, bool train) {
-  if (input.rank() != 4 || input.dim(1) != cin_)
-    throw std::invalid_argument("Conv2d::forward: bad input " +
-                                input.shape_string());
+  GF_CHECK(input.rank() == 4 && input.dim(1) == cin_,
+           "Conv2d::forward: expected [N, ", cin_, ", H, W], got ",
+           input.shape_string());
   const std::size_t n = input.dim(0), h = input.dim(2), w = input.dim(3);
-  if (h + 2 * pad_ < k_ || w + 2 * pad_ < k_)
-    throw std::invalid_argument("Conv2d::forward: kernel larger than input");
+  GF_CHECK(h + 2 * pad_ >= k_ && w + 2 * pad_ >= k_,
+           "Conv2d::forward: kernel ", k_, " larger than padded input ",
+           input.shape_string());
   const std::size_t ho = h + 2 * pad_ - k_ + 1;
   const std::size_t wo = w + 2 * pad_ - k_ + 1;
   const std::size_t how = ho * wo, ncols = n * how, kdim = cin_ * k_ * k_;
@@ -67,11 +69,17 @@ Tensor Conv2d::forward(const Tensor& input, bool train) {
 }
 
 Tensor Conv2d::backward(const Tensor& grad_out) {
-  if (cached_input_.size() == 0)
-    throw std::logic_error("Conv2d::backward without forward(train=true)");
+  GF_CHECK(cached_input_.size() != 0,
+           "Conv2d::backward without forward(train=true)");
   const Tensor& x = cached_input_;
   const std::size_t n = x.dim(0), h = x.dim(2), w = x.dim(3);
+  GF_CHECK(grad_out.rank() == 4 && grad_out.dim(0) == n &&
+               grad_out.dim(1) == cout_,
+           "Conv2d::backward: grad ", grad_out.shape_string(),
+           " does not match input ", x.shape_string());
   const std::size_t ho = grad_out.dim(2), wo = grad_out.dim(3);
+  GF_CHECK(ho == h + 2 * pad_ - k_ + 1 && wo == w + 2 * pad_ - k_ + 1,
+           "Conv2d::backward: grad spatial dims ", grad_out.shape_string());
   const std::size_t how = ho * wo, ncols = n * how, kdim = cin_ * k_ * k_;
   auto& arena = runtime::WorkspaceArena::local();
 
@@ -224,17 +232,17 @@ Tensor conv_reference_backward(const Tensor& x, const Tensor& weight,
 // ---------------- MaxPool2d ----------------
 
 MaxPool2d::MaxPool2d(std::size_t window) : window_(window) {
-  if (window_ == 0) throw std::invalid_argument("MaxPool2d: window == 0");
+  GF_CHECK(window_ != 0, "MaxPool2d: window == 0");
 }
 
 Tensor MaxPool2d::forward(const Tensor& input, bool train) {
-  if (input.rank() != 4)
-    throw std::invalid_argument("MaxPool2d: expected 4-D input");
+  GF_CHECK(input.rank() == 4, "MaxPool2d: expected 4-D input, got ",
+           input.shape_string());
   const std::size_t n = input.dim(0), c = input.dim(1), h = input.dim(2),
                     w = input.dim(3);
   const std::size_t ho = h / window_, wo = w / window_;
-  if (ho == 0 || wo == 0)
-    throw std::invalid_argument("MaxPool2d: window larger than input");
+  GF_CHECK(ho != 0 && wo != 0, "MaxPool2d: window ", window_,
+           " larger than input ", input.shape_string());
   Tensor out({n, c, ho, wo});
   if (train) {
     argmax_.assign(out.size(), 0);
@@ -265,8 +273,8 @@ Tensor MaxPool2d::forward(const Tensor& input, bool train) {
 }
 
 Tensor MaxPool2d::backward(const Tensor& grad_out) {
-  if (argmax_.size() != grad_out.size())
-    throw std::logic_error("MaxPool2d::backward without forward(train=true)");
+  GF_CHECK_EQ(argmax_.size(), grad_out.size(),
+              "MaxPool2d::backward without forward(train=true)");
   Tensor grad_in(cached_shape_);
   for (std::size_t i = 0; i < grad_out.size(); ++i)
     grad_in[argmax_[i]] += grad_out[i];
@@ -280,8 +288,8 @@ std::unique_ptr<Layer> MaxPool2d::clone() const {
 // ---------------- GlobalAvgPool ----------------
 
 Tensor GlobalAvgPool::forward(const Tensor& input, bool train) {
-  if (input.rank() != 4)
-    throw std::invalid_argument("GlobalAvgPool: expected 4-D input");
+  GF_CHECK(input.rank() == 4, "GlobalAvgPool: expected 4-D input, got ",
+           input.shape_string());
   const std::size_t n = input.dim(0), c = input.dim(1),
                     hw = input.dim(2) * input.dim(3);
   Tensor out({n, c});
@@ -297,8 +305,8 @@ Tensor GlobalAvgPool::forward(const Tensor& input, bool train) {
 }
 
 Tensor GlobalAvgPool::backward(const Tensor& grad_out) {
-  if (cached_shape_.empty())
-    throw std::logic_error("GlobalAvgPool::backward without forward");
+  GF_CHECK(!cached_shape_.empty(),
+           "GlobalAvgPool::backward without forward");
   const std::size_t n = cached_shape_[0], c = cached_shape_[1],
                     hw = cached_shape_[2] * cached_shape_[3];
   Tensor grad_in(cached_shape_);

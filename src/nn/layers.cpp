@@ -1,7 +1,7 @@
 #include <cmath>
-#include <stdexcept>
 
 #include "nn/layer.hpp"
+#include "util/check.hpp"
 
 namespace groupfel::nn {
 
@@ -23,10 +23,9 @@ void Linear::init(runtime::Rng& rng) {
 }
 
 Tensor Linear::forward(const Tensor& input, bool train) {
-  if (input.rank() != 2 || input.dim(1) != in_)
-    throw std::invalid_argument("Linear::forward: expected [N, " +
-                                std::to_string(in_) + "], got " +
-                                input.shape_string());
+  GF_CHECK(input.rank() == 2 && input.dim(1) == in_,
+           "Linear::forward: expected [N, ", in_, "], got ",
+           input.shape_string());
   const std::size_t n = input.dim(0);
   Tensor out({n, out_});
   matmul(input, weight_, out);
@@ -38,8 +37,12 @@ Tensor Linear::forward(const Tensor& input, bool train) {
 
 Tensor Linear::backward(const Tensor& grad_out) {
   const std::size_t n = grad_out.dim(0);
-  if (cached_input_.size() == 0)
-    throw std::logic_error("Linear::backward without forward(train=true)");
+  GF_CHECK(cached_input_.size() != 0,
+           "Linear::backward without forward(train=true)");
+  GF_CHECK(grad_out.rank() == 2 && grad_out.dim(1) == out_ &&
+               n == cached_input_.dim(0),
+           "Linear::backward: grad ", grad_out.shape_string(),
+           " does not match cached input ", cached_input_.shape_string());
   // dW += X^T * dY ; db += column sums of dY ; dX = dY * W^T
   Tensor gw({in_, out_});
   matmul_at(cached_input_, grad_out, gw);
@@ -76,8 +79,8 @@ Tensor ReLU::forward(const Tensor& input, bool train) {
 }
 
 Tensor ReLU::backward(const Tensor& grad_out) {
-  if (cached_input_.size() != grad_out.size())
-    throw std::logic_error("ReLU::backward shape mismatch");
+  GF_CHECK_EQ(cached_input_.size(), grad_out.size(),
+              "ReLU::backward shape mismatch");
   Tensor grad_in = grad_out;
   const auto xs = cached_input_.data();
   auto gs = grad_in.data();
@@ -91,7 +94,8 @@ std::unique_ptr<Layer> ReLU::clone() const { return std::make_unique<ReLU>(); }
 // ---------------- Flatten ----------------
 
 Tensor Flatten::forward(const Tensor& input, bool train) {
-  if (input.rank() < 2) throw std::invalid_argument("Flatten: rank < 2");
+  GF_CHECK(input.rank() >= 2, "Flatten: rank < 2, got ",
+           input.shape_string());
   if (train) cached_shape_ = input.shape();
   Tensor out = input;
   out.reshape({input.dim(0), input.size() / input.dim(0)});
@@ -99,6 +103,8 @@ Tensor Flatten::forward(const Tensor& input, bool train) {
 }
 
 Tensor Flatten::backward(const Tensor& grad_out) {
+  GF_CHECK(!cached_shape_.empty(),
+           "Flatten::backward without forward(train=true)");
   Tensor grad_in = grad_out;
   grad_in.reshape(cached_shape_);
   return grad_in;

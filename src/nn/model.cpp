@@ -1,7 +1,8 @@
 #include "nn/model.hpp"
 
 #include <cmath>
-#include <stdexcept>
+
+#include "util/check.hpp"
 
 namespace groupfel::nn {
 
@@ -48,8 +49,7 @@ std::vector<float> Model::flat_parameters() const {
 }
 
 void Model::set_flat_parameters(std::span<const float> flat) {
-  if (flat.size() != param_count())
-    throw std::invalid_argument("set_flat_parameters: size mismatch");
+  GF_CHECK_EQ(flat.size(), param_count(), "set_flat_parameters");
   std::size_t off = 0;
   for (auto& l : layers_)
     l->for_each_param([&](Tensor& p, Tensor&) {
@@ -80,19 +80,19 @@ Model Model::clone() const {
 }
 
 void axpy(std::vector<float>& out, std::span<const float> v, float scale) {
-  if (out.size() != v.size()) throw std::invalid_argument("axpy: size mismatch");
+  GF_CHECK_EQ(out.size(), v.size(), "axpy");
   for (std::size_t i = 0; i < out.size(); ++i) out[i] += scale * v[i];
 }
 
 std::vector<float> weighted_average(const std::vector<std::vector<float>>& vs,
                                     std::span<const double> weights) {
-  if (vs.empty()) throw std::invalid_argument("weighted_average: empty input");
-  if (vs.size() != weights.size())
-    throw std::invalid_argument("weighted_average: weight count mismatch");
+  GF_CHECK(!vs.empty(), "weighted_average: empty input");
+  GF_CHECK_EQ(vs.size(), weights.size(),
+              "weighted_average: one weight per model");
   std::vector<double> acc(vs[0].size(), 0.0);
   for (std::size_t i = 0; i < vs.size(); ++i) {
-    if (vs[i].size() != acc.size())
-      throw std::invalid_argument("weighted_average: ragged inputs");
+    GF_CHECK_EQ(vs[i].size(), acc.size(), "weighted_average: ragged input ",
+                i);
     const double w = weights[i];
     for (std::size_t j = 0; j < acc.size(); ++j)
       acc[j] += w * static_cast<double>(vs[i][j]);
@@ -104,8 +104,7 @@ std::vector<float> weighted_average(const std::vector<std::vector<float>>& vs,
 }
 
 double l2_distance(std::span<const float> a, std::span<const float> b) {
-  if (a.size() != b.size())
-    throw std::invalid_argument("l2_distance: size mismatch");
+  GF_CHECK_EQ(a.size(), b.size(), "l2_distance");
   double s = 0.0;
   for (std::size_t i = 0; i < a.size(); ++i) {
     const double d = static_cast<double>(a[i]) - static_cast<double>(b[i]);

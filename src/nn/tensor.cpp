@@ -2,10 +2,11 @@
 
 #include <algorithm>
 
-#include "nn/gemm.hpp"
 #include <cmath>
 #include <numeric>
-#include <stdexcept>
+
+#include "nn/gemm.hpp"
+#include "util/check.hpp"
 
 namespace groupfel::nn {
 
@@ -20,28 +21,28 @@ Tensor::Tensor(std::vector<std::size_t> shape)
 
 Tensor::Tensor(std::vector<std::size_t> shape, std::vector<float> data)
     : shape_(std::move(shape)), data_(std::move(data)) {
-  if (data_.size() != shape_size(shape_))
-    throw std::invalid_argument("Tensor: data size does not match shape");
+  GF_CHECK_EQ(data_.size(), shape_size(shape_),
+              "Tensor: data size does not match shape ", shape_string());
 }
 
 void Tensor::fill(float v) noexcept { std::fill(data_.begin(), data_.end(), v); }
 
 void Tensor::reshape(std::vector<std::size_t> new_shape) {
-  if (shape_size(new_shape) != data_.size())
-    throw std::invalid_argument("Tensor::reshape: size mismatch");
+  GF_CHECK_EQ(shape_size(new_shape), data_.size(),
+              "Tensor::reshape from ", shape_string());
   shape_ = std::move(new_shape);
 }
 
 Tensor& Tensor::operator+=(const Tensor& other) {
-  if (other.size() != size())
-    throw std::invalid_argument("Tensor::+=: size mismatch");
+  GF_CHECK_EQ(other.size(), size(), "Tensor::+= ", other.shape_string(),
+              " into ", shape_string());
   for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
   return *this;
 }
 
 Tensor& Tensor::operator-=(const Tensor& other) {
-  if (other.size() != size())
-    throw std::invalid_argument("Tensor::-=: size mismatch");
+  GF_CHECK_EQ(other.size(), size(), "Tensor::-= ", other.shape_string(),
+              " into ", shape_string());
   for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
   return *this;
 }
@@ -72,31 +73,35 @@ std::string Tensor::shape_string() const {
 
 void matmul(const Tensor& a, const Tensor& b, Tensor& out) {
   const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
-  if (b.dim(0) != k || out.dim(0) != m || out.dim(1) != n)
-    throw std::invalid_argument("matmul: shape mismatch");
+  GF_CHECK(b.dim(0) == k && out.dim(0) == m && out.dim(1) == n,
+           "matmul: ", a.shape_string(), " x ", b.shape_string(), " -> ",
+           out.shape_string());
   detail::gemm(m, n, k, {a.raw(), k, 1}, {b.raw(), n, 1}, out.raw());
 }
 
 void matmul_bt(const Tensor& a, const Tensor& b, Tensor& out) {
   // out[m, n] = a[m, k] * b[n, k]^T
   const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(0);
-  if (b.dim(1) != k || out.dim(0) != m || out.dim(1) != n)
-    throw std::invalid_argument("matmul_bt: shape mismatch");
+  GF_CHECK(b.dim(1) == k && out.dim(0) == m && out.dim(1) == n,
+           "matmul_bt: ", a.shape_string(), " x ", b.shape_string(), "^T -> ",
+           out.shape_string());
   detail::gemm(m, n, k, {a.raw(), k, 1}, {b.raw(), 1, k}, out.raw());
 }
 
 void matmul_at(const Tensor& a, const Tensor& b, Tensor& out) {
   // out[k, n] = a[m, k]^T * b[m, n]
   const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
-  if (b.dim(0) != m || out.dim(0) != k || out.dim(1) != n)
-    throw std::invalid_argument("matmul_at: shape mismatch");
+  GF_CHECK(b.dim(0) == m && out.dim(0) == k && out.dim(1) == n,
+           "matmul_at: ", a.shape_string(), "^T x ", b.shape_string(), " -> ",
+           out.shape_string());
   detail::gemm(k, n, m, {a.raw(), 1, k}, {b.raw(), n, 1}, out.raw());
 }
 
 void matmul_naive(const Tensor& a, const Tensor& b, Tensor& out) {
   const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
-  if (b.dim(0) != k || out.dim(0) != m || out.dim(1) != n)
-    throw std::invalid_argument("matmul: shape mismatch");
+  GF_CHECK(b.dim(0) == k && out.dim(0) == m && out.dim(1) == n,
+           "matmul: ", a.shape_string(), " x ", b.shape_string(), " -> ",
+           out.shape_string());
   out.zero();
   const float* pa = a.raw();
   const float* pb = b.raw();
@@ -115,8 +120,9 @@ void matmul_naive(const Tensor& a, const Tensor& b, Tensor& out) {
 void matmul_bt_naive(const Tensor& a, const Tensor& b, Tensor& out) {
   // out[m, n] = a[m, k] * b[n, k]^T
   const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(0);
-  if (b.dim(1) != k || out.dim(0) != m || out.dim(1) != n)
-    throw std::invalid_argument("matmul_bt: shape mismatch");
+  GF_CHECK(b.dim(1) == k && out.dim(0) == m && out.dim(1) == n,
+           "matmul_bt: ", a.shape_string(), " x ", b.shape_string(), "^T -> ",
+           out.shape_string());
   const float* pa = a.raw();
   const float* pb = b.raw();
   float* po = out.raw();
@@ -149,8 +155,9 @@ void matmul_bt_naive(const Tensor& a, const Tensor& b, Tensor& out) {
 void matmul_at_naive(const Tensor& a, const Tensor& b, Tensor& out) {
   // out[k, n] = a[m, k]^T * b[m, n]
   const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
-  if (b.dim(0) != m || out.dim(0) != k || out.dim(1) != n)
-    throw std::invalid_argument("matmul_at: shape mismatch");
+  GF_CHECK(b.dim(0) == m && out.dim(0) == k && out.dim(1) == n,
+           "matmul_at: ", a.shape_string(), "^T x ", b.shape_string(), " -> ",
+           out.shape_string());
   out.zero();
   const float* pa = a.raw();
   const float* pb = b.raw();

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "util/check.hpp"
+
 namespace groupfel::sampling {
 
 std::string to_string(SamplingMethod method) {
@@ -28,8 +30,8 @@ SamplingMethod sampling_method_from_string(const std::string& name) {
 std::vector<double> sampling_probabilities(SamplingMethod method,
                                            std::span<const double> group_covs,
                                            double cov_floor) {
-  if (group_covs.empty())
-    throw std::invalid_argument("sampling_probabilities: no groups");
+  GF_CHECK(!group_covs.empty(), "sampling_probabilities: no groups");
+  GF_CHECK(cov_floor > 0.0, "sampling_probabilities: cov_floor must be > 0");
   const std::size_t n = group_covs.size();
   std::vector<double> p(n);
 
@@ -41,8 +43,8 @@ std::vector<double> sampling_probabilities(SamplingMethod method,
   // x_g = 1 / max(CoV, floor); the floor keeps perfectly-IID groups finite.
   std::vector<double> x(n);
   for (std::size_t i = 0; i < n; ++i) {
-    if (group_covs[i] < 0.0)
-      throw std::invalid_argument("sampling_probabilities: negative CoV");
+    GF_CHECK(group_covs[i] >= 0.0, "sampling_probabilities: negative CoV ",
+             group_covs[i], " for group ", i);
     x[i] = 1.0 / std::max(group_covs[i], cov_floor);
   }
 
@@ -65,14 +67,27 @@ std::vector<double> sampling_probabilities(SamplingMethod method,
     }
     case SamplingMethod::kRandom: break;  // handled above
   }
+  GF_CHECK(total > 0.0 && std::isfinite(total),
+           "sampling_probabilities: degenerate normalizer ", total);
   for (auto& v : p) v /= total;
   return p;
 }
 
 std::vector<std::size_t> sample_groups(std::span<const double> p,
                                        std::size_t s, runtime::Rng& rng) {
-  if (s > p.size())
-    throw std::invalid_argument("sample_groups: s exceeds group count");
+  GF_CHECK(s <= p.size(), "sample_groups: s = ", s, " exceeds ", p.size(),
+           " groups");
+#if GROUPFEL_DEBUG_CHECKS
+  {
+    double mass = 0.0;
+    for (double v : p) {
+      GF_DCHECK(v >= 0.0, "sample_groups: negative probability ", v);
+      mass += v;
+    }
+    GF_DCHECK(std::abs(mass - 1.0) < 1e-6,
+              "sample_groups: probabilities sum to ", mass, ", not 1");
+  }
+#endif
   std::vector<double> weights(p.begin(), p.end());
   std::vector<std::size_t> chosen;
   chosen.reserve(s);

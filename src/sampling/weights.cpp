@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "util/check.hpp"
+
 namespace groupfel::sampling {
 
 std::string to_string(AggregationMode mode) {
@@ -24,18 +26,19 @@ std::vector<double> aggregation_weights(AggregationMode mode,
                                         std::span<const std::size_t> sampled,
                                         std::span<const double> p,
                                         std::span<const std::size_t> group_sizes) {
-  if (p.size() != group_sizes.size())
-    throw std::invalid_argument("aggregation_weights: p/size length mismatch");
-  if (sampled.empty())
-    throw std::invalid_argument("aggregation_weights: no sampled groups");
+  GF_CHECK_EQ(p.size(), group_sizes.size(),
+              "aggregation_weights: probability per group");
+  GF_CHECK(!sampled.empty(), "aggregation_weights: no sampled groups");
+  for (auto g : sampled)
+    GF_CHECK(g < group_sizes.size(), "aggregation_weights: sampled index ", g,
+             " out of range [0, ", group_sizes.size(), ")");
   const double s = static_cast<double>(sampled.size());
 
   double n_total = 0.0;  // n: all data across all groups
   for (auto g : group_sizes) n_total += static_cast<double>(g);
   double n_t = 0.0;  // n_t: data across the sampled groups this round
   for (auto g : sampled) n_t += static_cast<double>(group_sizes[g]);
-  if (n_total <= 0.0 || n_t <= 0.0)
-    throw std::invalid_argument("aggregation_weights: empty groups");
+  GF_CHECK(n_total > 0.0 && n_t > 0.0, "aggregation_weights: empty groups");
 
   std::vector<double> w(sampled.size());
   switch (mode) {

@@ -2,16 +2,19 @@
 
 #include <stdexcept>
 
+#include "util/check.hpp"
+
 namespace groupfel::secagg {
 
 SecureAggregator::SecureAggregator(std::size_t num_clients,
                                    std::size_t vector_size, SecAggConfig config,
                                    runtime::Rng& rng)
     : n_(num_clients), dim_(vector_size), cfg_(config) {
-  if (n_ == 0) throw std::invalid_argument("SecureAggregator: no clients");
+  GF_CHECK(n_ != 0, "SecureAggregator: no clients");
   t_ = cfg_.threshold != 0 ? cfg_.threshold : (2 * n_ + 2) / 3;
-  if (t_ > n_)
-    throw std::invalid_argument("SecureAggregator: threshold exceeds group");
+  GF_CHECK(t_ <= n_, "SecureAggregator: threshold ", t_, " exceeds group of ",
+           n_);
+  GF_CHECK(t_ >= 1, "SecureAggregator: threshold must be >= 1");
   codec_.frac_bits = cfg_.frac_bits;
 
   // Round 0: key generation. Each client draws from its own forked stream.
@@ -59,8 +62,8 @@ std::uint64_t SecureAggregator::pair_seed(std::size_t i, std::size_t j) const {
 std::vector<Fe> SecureAggregator::client_masked_input(
     std::size_t i, std::span<const float> x) const {
   if (i >= n_) throw std::out_of_range("client_masked_input: bad client id");
-  if (x.size() != dim_)
-    throw std::invalid_argument("client_masked_input: bad vector size");
+  GF_CHECK_EQ(x.size(), dim_, "client_masked_input: input length for client ",
+              i, " disagrees with mask length");
 
   std::vector<Fe> y(dim_);
   for (std::size_t k = 0; k < dim_; ++k) y[k] = codec_.encode(x[k]);
@@ -85,8 +88,8 @@ std::vector<Fe> SecureAggregator::client_masked_input(
 
 std::vector<float> SecureAggregator::aggregate(
     const std::vector<std::optional<std::vector<Fe>>>& survivor_inputs) const {
-  if (survivor_inputs.size() != n_)
-    throw std::invalid_argument("aggregate: expected one slot per client");
+  GF_CHECK_EQ(survivor_inputs.size(), n_,
+              "aggregate: expected one slot per client");
 
   std::vector<std::size_t> survivors, dropped;
   for (std::size_t i = 0; i < n_; ++i)
@@ -97,7 +100,8 @@ std::vector<float> SecureAggregator::aggregate(
   std::vector<Fe> sum(dim_);
   for (auto i : survivors) {
     const auto& y = *survivor_inputs[i];
-    if (y.size() != dim_) throw std::invalid_argument("aggregate: bad vector");
+    GF_CHECK_EQ(y.size(), dim_, "aggregate: masked vector length for client ",
+                i, " disagrees with mask length");
     for (std::size_t k = 0; k < dim_; ++k) sum[k] += y[k];
   }
 
@@ -142,8 +146,7 @@ std::vector<float> SecureAggregator::aggregate(
 std::vector<float> SecureAggregator::run(
     const std::vector<std::vector<float>>& inputs,
     const std::set<std::size_t>& dropped) const {
-  if (inputs.size() != n_)
-    throw std::invalid_argument("run: expected one input per client");
+  GF_CHECK_EQ(inputs.size(), n_, "run: expected one input per client");
   std::vector<std::optional<std::vector<Fe>>> slots(n_);
   for (std::size_t i = 0; i < n_; ++i) {
     if (dropped.count(i)) continue;

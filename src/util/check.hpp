@@ -1,0 +1,92 @@
+// Runtime invariant checks for the FL stack (see docs/DEVELOPMENT.md
+// "Analysis toolchain").
+//
+// GF_CHECK(cond, msg...)    — always-on; throws util::CheckFailure with the
+//                             stringized condition, source location, and the
+//                             stream-concatenated message parts.
+// GF_CHECK_EQ(a, b, msg...) — like GF_CHECK(a == b) but reports both values.
+// GF_DCHECK / GF_DCHECK_EQ  — compiled to a no-op unless the build defines
+//                             GROUPFEL_DEBUG_CHECKS or leaves NDEBUG unset
+//                             (the sanitizer/TSan presets turn them on); use
+//                             for per-element loops too hot for release.
+//
+// CheckFailure derives from std::invalid_argument so call sites migrated
+// from explicit `throw std::invalid_argument` keep their documented
+// exception contract (and the std::logic_error contract above it).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+#include "util/format.hpp"
+
+#if !defined(GROUPFEL_DEBUG_CHECKS) && !defined(NDEBUG)
+#define GROUPFEL_DEBUG_CHECKS 1
+#endif
+
+namespace groupfel::util {
+
+/// Thrown by GF_CHECK/GF_DCHECK on a violated invariant.
+class CheckFailure : public std::invalid_argument {
+ public:
+  explicit CheckFailure(const std::string& what)
+      : std::invalid_argument(what) {}
+};
+
+namespace detail {
+
+template <typename... Args>
+[[noreturn]] void check_failed(const char* expr, const char* file, int line,
+                               Args&&... args) {
+  std::string msg = cat("check failed: ", expr, " (", file, ":", line, ")");
+  if constexpr (sizeof...(Args) > 0)
+    msg += cat(": ", std::forward<Args>(args)...);
+  throw CheckFailure(msg);
+}
+
+template <typename A, typename B, typename... Args>
+[[noreturn]] void check_eq_failed(const char* ea, const char* eb, const A& a,
+                                  const B& b, const char* file, int line,
+                                  Args&&... args) {
+  std::string msg = cat("check failed: ", ea, " == ", eb, " (", a,
+                        " vs ", b, ") (", file, ":", line, ")");
+  if constexpr (sizeof...(Args) > 0)
+    msg += cat(": ", std::forward<Args>(args)...);
+  throw CheckFailure(msg);
+}
+
+}  // namespace detail
+}  // namespace groupfel::util
+
+#define GF_CHECK(cond, ...)                                          \
+  do {                                                               \
+    if (!(cond)) [[unlikely]]                                        \
+      ::groupfel::util::detail::check_failed(                        \
+          #cond, __FILE__, __LINE__ __VA_OPT__(, ) __VA_ARGS__);     \
+  } while (false)
+
+#define GF_CHECK_EQ(a, b, ...)                                       \
+  do {                                                               \
+    const auto& gf_chk_a_ = (a);                                     \
+    const auto& gf_chk_b_ = (b);                                     \
+    if (!(gf_chk_a_ == gf_chk_b_)) [[unlikely]]                      \
+      ::groupfel::util::detail::check_eq_failed(                     \
+          #a, #b, gf_chk_a_, gf_chk_b_, __FILE__,                    \
+          __LINE__ __VA_OPT__(, ) __VA_ARGS__);                      \
+  } while (false)
+
+#if GROUPFEL_DEBUG_CHECKS
+#define GF_DCHECK(cond, ...) GF_CHECK(cond __VA_OPT__(, ) __VA_ARGS__)
+#define GF_DCHECK_EQ(a, b, ...) GF_CHECK_EQ(a, b __VA_OPT__(, ) __VA_ARGS__)
+#else
+// sizeof keeps the expressions type-checked (and their operands "used")
+// without evaluating them.
+#define GF_DCHECK(cond, ...) \
+  do {                       \
+    (void)sizeof(!(cond));   \
+  } while (false)
+#define GF_DCHECK_EQ(a, b, ...)  \
+  do {                           \
+    (void)sizeof((a) == (b));    \
+  } while (false)
+#endif

@@ -59,8 +59,8 @@ TEST(Adam, FirstStepMagnitudeIsLr) {
   const std::vector<float> after = setup.model.flat_parameters();
   double max_move = 0.0;
   for (std::size_t i = 0; i < before.size(); ++i)
-    max_move = std::max(max_move,
-                        std::abs(static_cast<double>(after[i]) - before[i]));
+    max_move = std::max(max_move, std::abs(static_cast<double>(after[i]) -
+                                           static_cast<double>(before[i])));
   EXPECT_LE(max_move, 0.0101);
   EXPECT_GT(max_move, 0.005);
 }
@@ -87,7 +87,7 @@ TEST(Adam, WeightDecayShrinksParams) {
   const double norm = [&] {
     double s = 0;
     for (float v : setup.model.flat_parameters())
-      s += static_cast<double>(v) * v;
+      s += static_cast<double>(v) * static_cast<double>(v);
     return s;
   }();
   AdamOptimizer opt({.lr = 0.01f, .weight_decay = 1.0f});
@@ -96,7 +96,7 @@ TEST(Adam, WeightDecayShrinksParams) {
   const double norm_after = [&] {
     double s = 0;
     for (float v : setup.model.flat_parameters())
-      s += static_cast<double>(v) * v;
+      s += static_cast<double>(v) * static_cast<double>(v);
     return s;
   }();
   EXPECT_LT(norm_after, norm);

@@ -76,8 +76,11 @@ TEST(Flame, RejectsPlantedBackdoors) {
   EXPECT_FALSE(res.accepted[7]);
   EXPECT_EQ(res.num_rejected, 2u);
   // All benign clients survive.
-  for (std::size_t i = 0; i < 10; ++i)
-    if (i != 3 && i != 7) EXPECT_TRUE(res.accepted[i]);
+  for (std::size_t i = 0; i < 10; ++i) {
+    if (i != 3 && i != 7) {
+      EXPECT_TRUE(res.accepted[i]);
+    }
+  }
 }
 
 TEST(Flame, MajorityClusterIsNeverRejected) {
@@ -105,7 +108,8 @@ TEST(Flame, ClippingBoundsAggregateNorm) {
   for (auto& v : updates[0]) v *= 100.0f;
   const FlameResult res = flame_filter(updates, {}, rng);
   double norm = 0.0;
-  for (float v : res.aggregated) norm += static_cast<double>(v) * v;
+  for (float v : res.aggregated)
+    norm += static_cast<double>(v) * static_cast<double>(v);
   norm = std::sqrt(norm);
   EXPECT_LE(norm, res.clip_norm * 1.05);
 }
@@ -120,7 +124,8 @@ TEST(Flame, NoiseChangesAggregate) {
   const auto b = flame_filter(updates, noisy, fr2);
   double diff = 0.0;
   for (std::size_t k = 0; k < a.aggregated.size(); ++k)
-    diff += std::abs(static_cast<double>(a.aggregated[k]) - b.aggregated[k]);
+    diff += std::abs(static_cast<double>(a.aggregated[k]) -
+                     static_cast<double>(b.aggregated[k]));
   EXPECT_GT(diff, 0.0);
 }
 

@@ -1,0 +1,77 @@
+#include "util/check.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+namespace groupfel::util {
+namespace {
+
+TEST(Check, PassingCheckIsSilent) {
+  EXPECT_NO_THROW(GF_CHECK(1 + 1 == 2));
+  EXPECT_NO_THROW(GF_CHECK(true, "never shown"));
+  EXPECT_NO_THROW(GF_CHECK_EQ(3, 3, "never shown"));
+}
+
+TEST(Check, FailureThrowsCheckFailure) {
+  EXPECT_THROW(GF_CHECK(false), CheckFailure);
+  EXPECT_THROW(GF_CHECK_EQ(1, 2), CheckFailure);
+}
+
+TEST(Check, CheckFailureKeepsLegacyExceptionContracts) {
+  // Call sites migrated from `throw std::invalid_argument` /
+  // `throw std::logic_error` must keep their documented exception types.
+  EXPECT_THROW(GF_CHECK(false), std::invalid_argument);
+  EXPECT_THROW(GF_CHECK(false), std::logic_error);
+}
+
+TEST(Check, MessageCarriesExpressionLocationAndContext) {
+  try {
+    const std::size_t have = 3, want = 7;
+    GF_CHECK(have == want, "flat vector length ", have, " != ", want);
+    FAIL() << "expected CheckFailure";
+  } catch (const CheckFailure& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("have == want"), std::string::npos) << what;
+    EXPECT_NE(what.find("check_test.cpp"), std::string::npos) << what;
+    EXPECT_NE(what.find("flat vector length 3 != 7"), std::string::npos)
+        << what;
+  }
+}
+
+TEST(Check, EqReportsBothValues) {
+  try {
+    GF_CHECK_EQ(10u, 32u, "shape");
+    FAIL() << "expected CheckFailure";
+  } catch (const CheckFailure& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("10 vs 32"), std::string::npos) << what;
+    EXPECT_NE(what.find("shape"), std::string::npos) << what;
+  }
+}
+
+TEST(Check, EqEvaluatesOperandsOnce) {
+  int calls = 0;
+  auto next = [&] { return ++calls; };
+  GF_CHECK_EQ(next(), 1);
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(Check, DcheckFollowsBuildConfiguration) {
+#if GROUPFEL_DEBUG_CHECKS
+  EXPECT_THROW(GF_DCHECK(false), CheckFailure);
+  EXPECT_THROW(GF_DCHECK_EQ(1, 2), CheckFailure);
+#else
+  // Disabled DCHECKs must not evaluate their operands.
+  int calls = 0;
+  auto next = [&] { return ++calls; };
+  GF_DCHECK(next() == 99);
+  GF_DCHECK_EQ(next(), 99);
+  EXPECT_EQ(calls, 0);
+#endif
+  EXPECT_NO_THROW(GF_DCHECK(true));
+}
+
+}  // namespace
+}  // namespace groupfel::util

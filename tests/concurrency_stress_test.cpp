@@ -1,0 +1,191 @@
+// Concurrency stress suite (ctest label: stress) — the workload the
+// groupfel_tsan preset exists for. Hammers ThreadPool::parallel_for,
+// WorkspaceArena, the logging sink, and the parallel Evaluator with
+// randomized pool sizes and iteration counts so ThreadSanitizer sees every
+// cross-thread handoff the simulator performs: queue push/pop, packed-buffer
+// publication, per-thread arena reuse, and fixed-order reductions.
+//
+// All randomness is drawn from counter-based runtime::Rng streams with fixed
+// seeds (the repo-wide determinism rule, enforced by scripts/lint.py), so a
+// TSan report here is reproducible by rerunning the same binary.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "core/evaluator.hpp"
+#include "data/synthetic.hpp"
+#include "nn/models.hpp"
+#include "nn/tensor.hpp"
+#include "runtime/rng.hpp"
+#include "runtime/thread_pool.hpp"
+#include "runtime/workspace.hpp"
+#include "util/logging.hpp"
+
+namespace groupfel::runtime {
+namespace {
+
+TEST(ConcurrencyStress, ParallelForRandomizedPoolSizes) {
+  // Fresh pools of random size churn construction, queue handoff, and
+  // teardown; each loop writes disjoint slots and bumps a shared atomic.
+  Rng rng(0x57e55ull);
+  for (int round = 0; round < 12; ++round) {
+    const std::size_t workers = rng.next_below(8);  // 0 = inline mode
+    const std::size_t n = 1 + rng.next_below(300);
+    ThreadPool pool(workers);
+    std::vector<std::uint64_t> out(n, 0);
+    std::atomic<std::uint64_t> sum{0};
+    pool.parallel_for(n, [&](std::size_t i) {
+      Rng task_rng = Rng(123).fork(i);  // index-keyed, thread-agnostic
+      const std::uint64_t v = task_rng.next_u64();
+      out[i] = v;
+      sum.fetch_add(v, std::memory_order_relaxed);
+    });
+    std::uint64_t expect = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(out[i], Rng(123).fork(i).next_u64());
+      expect += out[i];
+    }
+    EXPECT_EQ(sum.load(), expect);
+  }
+}
+
+TEST(ConcurrencyStress, RepeatedLoopsOnOnePoolWithExceptions) {
+  // One long-lived pool alternating clean and throwing loops: exercises the
+  // LoopState lifetime rules (runners that start after the caller already
+  // rethrew must find a harmless no-op).
+  ThreadPool pool(4);
+  Rng rng(0xabcdull);
+  for (int round = 0; round < 40; ++round) {
+    const std::size_t n = 1 + rng.next_below(64);
+    const bool with_throw = rng.next_below(2) == 0;
+    std::atomic<int> runs{0};
+    auto body = [&](std::size_t i) {
+      runs.fetch_add(1);
+      if (with_throw && i == 0) throw std::runtime_error("stress");
+    };
+    if (with_throw) {
+      EXPECT_THROW(pool.parallel_for(n, body), std::runtime_error);
+    } else {
+      pool.parallel_for(n, body);
+    }
+    EXPECT_EQ(runs.load(), static_cast<int>(n));
+  }
+}
+
+TEST(ConcurrencyStress, WorkspaceArenaPerThreadIntegrity) {
+  // Every worker nests arena buffers and stamps them with an index-derived
+  // pattern; any cross-thread sharing of storage corrupts the readback.
+  // Releasing on the acquiring thread is the documented lifetime rule.
+  ThreadPool pool(6);
+  for (int round = 0; round < 6; ++round) {
+    pool.parallel_for(96, [&](std::size_t i) {
+      auto& arena = WorkspaceArena::local();
+      const std::size_t n1 = 64 + (i % 17) * 8;
+      const std::size_t n2 = 32 + (i % 5) * 64;
+      auto outer = arena.acquire(n1);
+      const float stamp = static_cast<float>(i + 1);
+      for (std::size_t k = 0; k < n1; ++k) outer.data()[k] = stamp;
+      {
+        auto inner = arena.acquire(n2);  // must be distinct storage
+        for (std::size_t k = 0; k < n2; ++k)
+          inner.data()[k] = -stamp;
+        for (std::size_t k = 0; k < n2; ++k)
+          ASSERT_EQ(inner.data()[k], -stamp);
+      }
+      for (std::size_t k = 0; k < n1; ++k) ASSERT_EQ(outer.data()[k], stamp);
+    });
+  }
+}
+
+TEST(ConcurrencyStress, LoggingSinkIsRaceFree) {
+  // Concurrent log_* calls plus a level flip mid-flight: the sink mutex and
+  // the atomic level are the only defenses TSan gets to judge.
+  const util::LogLevel before = util::log_level();
+  util::set_log_level(util::LogLevel::kError);  // keep the run quiet
+  ThreadPool pool(4);
+  pool.parallel_for(64, [&](std::size_t i) {
+    util::log_debug("stress debug ", i);
+    util::log_info("stress info ", i);
+    if (i == 32) util::set_log_level(util::LogLevel::kWarn);
+    util::log_warn("stress warn ", i);
+  });
+  util::set_log_level(before);
+}
+
+TEST(ConcurrencyStress, ParallelGemmMatchesNaiveUnderChurn) {
+  // Drives the packed GEMM through the global pool (the b_buf publication
+  // and disjoint row-panel writes) while other iterations churn the arena.
+  Rng rng(0x9e44ull);
+  const std::size_t m = 96, k = 64, n = 80;
+  nn::Tensor a({m, k}), b({k, n});
+  for (auto& v : a.data()) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+  for (auto& v : b.data()) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+  nn::Tensor want({m, n});
+  nn::matmul_naive(a, b, want);
+  ThreadPool pool(4);
+  pool.parallel_for(8, [&](std::size_t) {
+    nn::Tensor got({m, n});
+    nn::matmul(a, b, got);  // may nest onto the global pool internally
+    for (std::size_t i = 0; i < got.size(); ++i)
+      ASSERT_NEAR(got[i], want[i], 1e-3f);
+  });
+}
+
+TEST(ConcurrencyStress, EvaluatorRandomizedPoolSweep) {
+  // The tentpole scenario: parallel batched inference with model replicas,
+  // swept over randomized pool sizes; accuracy and loss must be
+  // bit-identical to the inline run every time.
+  Rng rng(0xeba1ull);
+  data::SyntheticSpec spec;
+  spec.num_classes = 5;
+  spec.sample_shape = {10};
+  Rng drng(21);
+  const data::DataSet test = data::make_synthetic(spec, 417, drng);
+  nn::Model m = nn::make_mlp(10, 20, 5);
+  Rng irng(22);
+  m.init(irng);
+
+  ThreadPool inline_pool(0);
+  const core::EvalResult ref = core::evaluate(m, test, 48, &inline_pool);
+  for (int round = 0; round < 8; ++round) {
+    const std::size_t workers = 1 + rng.next_below(8);
+    ThreadPool pool(workers);
+    const core::EvalResult got = core::evaluate(m, test, 48, &pool);
+    EXPECT_DOUBLE_EQ(got.accuracy, ref.accuracy) << "workers = " << workers;
+    EXPECT_DOUBLE_EQ(got.loss, ref.loss) << "workers = " << workers;
+  }
+}
+
+TEST(ConcurrencyStress, GroupedFanOutDeterminismAcrossPoolSizes) {
+  // Mimics the paper's grouped round: groups in parallel, clients in nested
+  // parallel, each client keyed by logical index. The reduced per-group
+  // digests must not depend on the pool size.
+  auto run_with = [](std::size_t workers) {
+    ThreadPool pool(workers);
+    constexpr std::size_t kGroups = 6, kClients = 10;
+    std::vector<std::uint64_t> digests(kGroups, 0);
+    pool.parallel_for(kGroups, [&](std::size_t g) {
+      std::vector<std::uint64_t> client_out(kClients);
+      pool.parallel_for(kClients, [&](std::size_t c) {
+        Rng crng = Rng(777).fork(g * 1000 + c);
+        std::uint64_t acc = 0;
+        for (int it = 0; it < 50; ++it) acc ^= crng.next_u64();
+        client_out[c] = acc;
+      });
+      std::uint64_t digest = 0;  // fixed-order reduction
+      for (auto v : client_out) digest = digest * 1099511628211ull + v;
+      digests[g] = digest;
+    });
+    return digests;
+  };
+  const auto ref = run_with(0);
+  EXPECT_EQ(run_with(1), ref);
+  EXPECT_EQ(run_with(3), ref);
+  EXPECT_EQ(run_with(8), ref);
+}
+
+}  // namespace
+}  // namespace groupfel::runtime

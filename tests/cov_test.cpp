@@ -22,8 +22,8 @@ TEST(Cov, ZeroForEmptyGroup) {
 TEST(Cov, MaximalForSingleLabelGroup) {
   // All mass on one of m labels: CoV = sqrt(m - 1).
   for (std::size_t m : {2u, 5u, 10u, 35u}) {
-    std::vector<std::size_t> counts(m, 0);
-    counts[0] = 100;
+    std::vector<std::size_t> counts{100};
+    counts.resize(m, 0);
     EXPECT_NEAR(cov(counts), std::sqrt(static_cast<double>(m - 1)), 1e-9);
   }
 }

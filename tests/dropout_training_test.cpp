@@ -112,7 +112,7 @@ TEST(DropoutTraining, RealSecAggMatchesPlainUnderSameChurn) {
   for (std::size_t i = 0; i < plain.final_params.size(); ++i)
     max_diff = std::max(
         max_diff, std::abs(static_cast<double>(plain.final_params[i]) -
-                           secure.final_params[i]));
+                           static_cast<double>(secure.final_params[i])));
   EXPECT_LT(max_diff, 5e-2);
 }
 

@@ -103,7 +103,9 @@ TEST(Sgd, StepReducesLoss) {
     const LossResult lr = softmax_cross_entropy(logits, labels);
     m.backward(lr.grad);
     opt.step(m);
-    if (step > 0) EXPECT_LT(lr.loss, prev + 0.05);  // allow tiny jitter
+    if (step > 0) {
+      EXPECT_LT(lr.loss, prev + 0.05);  // allow tiny jitter
+    }
     prev = lr.loss;
   }
   EXPECT_LT(prev, 0.5);
@@ -140,7 +142,8 @@ TEST(Sgd, WeightDecayShrinksWeights) {
   Model m = small_mlp(rng);
   const double norm_before = [&] {
     double s = 0;
-    for (float v : m.flat_parameters()) s += static_cast<double>(v) * v;
+    for (float v : m.flat_parameters())
+      s += static_cast<double>(v) * static_cast<double>(v);
     return s;
   }();
   SgdOptimizer opt({.lr = 0.1f, .weight_decay = 0.1f});
@@ -149,7 +152,8 @@ TEST(Sgd, WeightDecayShrinksWeights) {
   opt.step(m);
   const double norm_after = [&] {
     double s = 0;
-    for (float v : m.flat_parameters()) s += static_cast<double>(v) * v;
+    for (float v : m.flat_parameters())
+      s += static_cast<double>(v) * static_cast<double>(v);
     return s;
   }();
   EXPECT_LT(norm_after, norm_before);

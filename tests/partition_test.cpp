@@ -82,8 +82,12 @@ TEST_P(PartitionSkewTest, ClientCovDecreasesWithAlpha) {
   for (std::size_t i = 0; i < matrix.num_clients(); ++i)
     mean_cov += grouping::cov(matrix.row(i));
   mean_cov /= static_cast<double>(matrix.num_clients());
-  if (alpha <= 0.05) EXPECT_GT(mean_cov, 1.8);
-  if (alpha >= 10.0) EXPECT_LT(mean_cov, 1.0);
+  if (alpha <= 0.05) {
+    EXPECT_GT(mean_cov, 1.8);
+  }
+  if (alpha >= 10.0) {
+    EXPECT_LT(mean_cov, 1.0);
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Alphas, PartitionSkewTest,

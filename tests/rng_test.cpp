@@ -154,8 +154,12 @@ TEST_P(DirichletTest, SmallerAlphaIsMoreSkewed) {
     mean_max += *std::max_element(v.begin(), v.end());
   }
   mean_max /= reps;
-  if (alpha <= 0.1) EXPECT_GT(mean_max, 0.6);
-  if (alpha >= 2.0) EXPECT_LT(mean_max, 0.45);
+  if (alpha <= 0.1) {
+    EXPECT_GT(mean_max, 0.6);
+  }
+  if (alpha >= 2.0) {
+    EXPECT_LT(mean_max, 0.45);
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Alphas, DirichletTest,

@@ -219,7 +219,7 @@ TEST(Trainer, RealSecAggMatchesPlaintextAggregation) {
   for (std::size_t i = 0; i < a.final_params.size(); ++i)
     max_diff = std::max(max_diff,
                         std::abs(static_cast<double>(a.final_params[i]) -
-                                 b.final_params[i]));
+                                 static_cast<double>(b.final_params[i])));
   EXPECT_LT(max_diff, 1e-2);
 }
 
