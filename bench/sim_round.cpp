@@ -1,0 +1,230 @@
+// End-to-end simulation-round benchmark — the tentpole gate for the
+// hot-path overhaul. Runs the full Algorithm 1 loop (T global rounds x
+// K group rounds x E local epochs) on the MLP surrogate at 64 clients /
+// 8 groups and measures rounds/sec plus heap-allocation traffic for the
+// legacy path (clone-per-client, copy-chain aggregation) against the
+// optimized one (per-thread replica cache, in-place parameter exchange,
+// fixed-shape parallel reduction). The two paths must produce bit-identical
+// final parameters — this binary hard-fails otherwise, in both modes.
+//
+//   ./sim_round            timed A/B run, writes BENCH_sim.json
+//   ./sim_round --smoke    fast bit-identity + steady-state-clones gate
+//                          for ctest (tiny topology, no JSON)
+//
+// The steady-state check re-runs train() on the same trainer: every worker
+// thread already holds a replica, so the second run must perform ZERO model
+// constructions (the acceptance criterion "per-client steady-state model
+// constructions == 0").
+#include <atomic>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <new>  // lint:allow(naked-new)
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "core/trainer.hpp"
+#include "runtime/thread_pool.hpp"
+#include "runtime/timer.hpp"
+#include "util/csv.hpp"
+
+// ---- Global allocation counter -------------------------------------------
+// Counts every scalar/array operator new in the process; deltas around the
+// timed region give allocations per simulated round. Counting only — the
+// underlying allocation still goes through malloc.
+namespace {
+std::atomic<std::size_t> g_allocs{0};
+}  // namespace
+
+void* operator new(std::size_t n) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n ? n : 1)) return p;
+  throw std::bad_alloc();
+}
+// Counting replacement of the global allocator, not an ownership site.
+void* operator new[](std::size_t n) { return operator new(n); }  // lint:allow(naked-new)
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+using namespace groupfel;
+
+namespace {
+
+struct ModeResult {
+  double seconds = 0.0;
+  double rounds_per_sec = 0.0;
+  double allocs_per_round = 0.0;
+  double final_accuracy = 0.0;
+  std::vector<float> final_params;
+};
+
+core::GroupFelConfig bench_config(std::size_t global_rounds) {
+  core::GroupFelConfig cfg;
+  cfg.global_rounds = global_rounds;
+  cfg.group_rounds = 5;  // paper: K = 5
+  cfg.local_epochs = 2;  // paper: E = 2
+  cfg.sampled_groups = 8;
+  cfg.local.batch_size = 8;
+  cfg.local.lr = 0.1f;
+  cfg.grouping = grouping::GroupingMethod::kRandom;
+  cfg.grouping_params.min_group_size = 8;
+  cfg.eval_every = 1;
+  cfg.seed = 42;
+  return cfg;
+}
+
+/// Best-of-N timing (train() is restartable — every RNG stream forks from
+/// per-round logical tags, so repeat runs are bit-identical). Allocation
+/// traffic is read on the last pass, when caches and arenas are warm.
+ModeResult run_mode(const core::Experiment& exp,
+                    const core::GroupFelConfig& cfg, std::size_t reps) {
+  core::GroupFelTrainer trainer(
+      exp.topology, cfg,
+      core::build_cost_model(cost::Task::kCifar, cost::GroupOp::kSecAgg));
+  ModeResult r;
+  r.seconds = 1e300;
+  core::TrainResult res;
+  for (std::size_t rep = 0; rep < reps; ++rep) {
+    const std::size_t allocs0 = g_allocs.load(std::memory_order_relaxed);
+    runtime::Timer t;
+    res = trainer.train();
+    r.seconds = std::min(r.seconds, t.seconds());
+    const std::size_t allocs1 = g_allocs.load(std::memory_order_relaxed);
+    r.allocs_per_round = static_cast<double>(allocs1 - allocs0) /
+                         static_cast<double>(cfg.global_rounds);
+  }
+  r.rounds_per_sec = static_cast<double>(cfg.global_rounds) / r.seconds;
+  r.final_accuracy = res.final_accuracy;
+  r.final_params = std::move(res.final_params);
+  return r;
+}
+
+/// Model constructions performed by a SECOND full train() on an
+/// already-warm trainer. Uses an inline (single-thread) pool so the set of
+/// participating threads is fixed — on a shared multi-worker pool an idle
+/// worker could join late and legitimately clone once, making the 0-gate
+/// flaky. Must return 0: every thread already holds its replica.
+std::size_t steady_state_clones(const core::Experiment& exp,
+                                const core::GroupFelConfig& cfg) {
+  runtime::ThreadPool inline_pool(0);
+  core::GroupFelTrainer trainer(
+      exp.topology, cfg,
+      core::build_cost_model(cost::Task::kCifar, cost::GroupOp::kSecAgg),
+      &inline_pool);
+  (void)trainer.train();  // warm-up: the calling thread clones its replica
+  const std::size_t before = trainer.replica_clone_count();
+  (void)trainer.train();
+  return trainer.replica_clone_count() - before;
+}
+
+bool bit_identical(const std::vector<float>& a, const std::vector<float>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    if (a[i] != b[i]) return false;
+  return true;
+}
+
+void write_json(const ModeResult& legacy, const ModeResult& opt,
+                std::size_t steady_clones, std::size_t clients,
+                std::size_t groups, std::size_t rounds,
+                std::size_t param_count) {
+  const std::string path = "BENCH_sim.json";
+  std::ofstream out(path);
+  out << "{\n  \"schema\": \"groupfel-sim-bench-v1\",\n"
+      << "  \"scenario\": {\"clients\": " << clients
+      << ", \"groups\": " << groups << ", \"global_rounds\": " << rounds
+      << ", \"group_rounds\": 5, \"local_epochs\": 2, \"model\": \"mlp-h64\""
+      << ", \"param_count\": " << param_count << "},\n"
+      << "  \"legacy\": {\"rounds_per_sec\": "
+      << util::format_double(legacy.rounds_per_sec)
+      << ", \"allocs_per_round\": "
+      << util::format_double(legacy.allocs_per_round) << "},\n"
+      << "  \"optimized\": {\"rounds_per_sec\": "
+      << util::format_double(opt.rounds_per_sec)
+      << ", \"allocs_per_round\": " << util::format_double(opt.allocs_per_round)
+      << ", \"steady_state_model_constructions\": " << steady_clones
+      << "},\n"
+      << "  \"speedup_vs_legacy_toggles\": "
+      << util::format_double(opt.rounds_per_sec / legacy.rounds_per_sec)
+      << ",\n"
+      << "  \"pre_pr_baseline_rounds_per_sec\": 6.46,\n"
+      << "  \"speedup_vs_pre_pr\": "
+      << util::format_double(opt.rounds_per_sec / 6.46) << ",\n"
+      << "  \"final_params_bit_identical\": true,\n"
+      << "  \"note\": \"pre-PR baseline measured on this scenario at the "
+         "previous commit (clone-per-client loop, pre-overhaul kernels); "
+         "legacy toggles re-run the old orchestration on current kernels\"\n"
+      << "}\n";
+  std::cout << "wrote " << path << "\n";
+}
+
+int fail(const std::string& msg) {
+  std::cerr << "sim_round: FAIL: " << msg << "\n";
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool smoke = argc > 1 && std::string(argv[1]) == "--smoke";
+
+  core::ExperimentSpec spec;
+  spec.num_clients = smoke ? 24 : 64;
+  spec.num_edges = 2;
+  spec.size_mean = 40;
+  spec.size_std = 10;
+  spec.size_min = 16;
+  spec.size_max = 64;
+  spec.test_size = smoke ? 200 : 1000;
+  spec.mlp_hidden = smoke ? 32 : 64;
+  spec.seed = 7;
+  const core::Experiment exp = core::build_experiment(spec);
+
+  core::GroupFelConfig cfg = bench_config(smoke ? 2 : 10);
+  if (smoke) {
+    cfg.group_rounds = 2;
+    cfg.local_epochs = 1;
+    cfg.sampled_groups = 3;
+    cfg.grouping_params.min_group_size = 5;
+  }
+
+  core::GroupFelConfig legacy_cfg = cfg;
+  legacy_cfg.reuse_model_replicas = false;
+  legacy_cfg.parallel_aggregation = false;
+
+  const std::size_t reps = smoke ? 1 : 3;
+  const ModeResult legacy = run_mode(exp, legacy_cfg, reps);
+  const ModeResult opt = run_mode(exp, cfg, reps);
+  const std::size_t steady = steady_state_clones(exp, cfg);
+
+  if (!bit_identical(legacy.final_params, opt.final_params))
+    return fail("legacy and optimized paths diverged (final_params)");
+  if (steady != 0)
+    return fail("replica cache constructed " + std::to_string(steady) +
+                " models in steady state (expected 0)");
+
+  const nn::Model proto = exp.topology.model_factory();
+  std::cout << "sim_round: " << spec.num_clients << " clients, "
+            << "param_count=" << proto.param_count() << "\n"
+            << "  legacy    " << util::format_double(legacy.rounds_per_sec)
+            << " rounds/s, " << util::format_double(legacy.allocs_per_round)
+            << " allocs/round (acc "
+            << util::format_double(legacy.final_accuracy) << ")\n"
+            << "  optimized " << util::format_double(opt.rounds_per_sec)
+            << " rounds/s, " << util::format_double(opt.allocs_per_round)
+            << " allocs/round, steady-state model ctors = " << steady << "\n"
+            << "  bit-identical final params: yes\n";
+
+  if (!smoke) {
+    // Group count comes out of the grouping pass; report the real number.
+    core::GroupFelTrainer probe(
+        exp.topology, cfg,
+        core::build_cost_model(cost::Task::kCifar, cost::GroupOp::kSecAgg));
+    write_json(legacy, opt, steady, spec.num_clients, probe.groups().size(),
+               cfg.global_rounds, proto.param_count());
+  }
+  return 0;
+}

@@ -19,6 +19,12 @@ generic tool checks:
   naked-new         `new` outside an immediate smart-pointer wrap, or any
                     `delete` expression: ownership the WorkspaceArena /
                     unique_ptr conventions are supposed to make impossible.
+  const-cast        `const_cast` anywhere under src/ (simulation paths).
+                    Model/Layer expose const `for_each_param` overloads
+                    precisely so flat-parameter export never needs to cast
+                    away constness; a const_cast on a hot path hides a
+                    mutation the aliasing/threading analysis cannot see.
+                    (tests/ may still use it for argv-style fixtures.)
   include-guard     Headers without `#pragma once`.
 
 Suppression: append `// lint:allow(<rule>)` to the offending line with a
@@ -157,6 +163,8 @@ def lint_file(path: Path) -> list[Finding]:
         findings.append(
             Finding(path, 1, "include-guard", "header lacks `#pragma once`"))
 
+    in_src = "src" in path.parts
+
     for lineno, text in enumerate(clean_lines, start=1):
         # banned-rng
         for pat, label in BANNED_RNG:
@@ -164,6 +172,12 @@ def lint_file(path: Path) -> list[Finding]:
                 emit(lineno, "banned-rng",
                      f"{label} on a simulation path; use runtime::Rng "
                      "(counter-based xoshiro/splitmix) keyed by logical index")
+        # const-cast (src/ only)
+        if in_src and "const_cast" in text:
+            emit(lineno, "const-cast",
+                 "const_cast on a simulation path; use the const "
+                 "for_each_param overloads (see nn/layer.hpp) instead of "
+                 "casting away constness")
         # naked-new
         if re.search(r"(?<![\w.])new\b(?!\s*\()", text) and not SMART_WRAP.search(text):
             emit(lineno, "naked-new",

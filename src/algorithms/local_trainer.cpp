@@ -16,6 +16,9 @@ double run_local_sgd(nn::Model& model, const data::ClientShard& shard,
 
   double loss_sum = 0.0;
   std::size_t loss_batches = 0;
+  // Gradients are zeroed once up front and then cleared inside opt.step's
+  // update pass, so each batch touches every gradient tensor once, not twice.
+  model.zero_grad();
   for (std::size_t epoch = 0; epoch < cfg.epochs; ++epoch) {
     rng.shuffle(order);
     for (std::size_t start = 0; start < order.size();
@@ -24,11 +27,10 @@ double run_local_sgd(nn::Model& model, const data::ClientShard& shard,
       const std::span<const std::size_t> batch_idx(order.data() + start,
                                                    end - start);
       const data::DataSet::Batch batch = shard.batch(batch_idx);
-      model.zero_grad();
       const nn::Tensor logits = model.forward(batch.features, /*train=*/true);
       const nn::LossResult lr = nn::softmax_cross_entropy(logits, batch.labels);
       model.backward(lr.grad);
-      opt.step(model, adjust);
+      opt.step(model, adjust, /*zero_grads=*/true);
       loss_sum += lr.loss;
       ++loss_batches;
     }

@@ -35,4 +35,19 @@ std::vector<float> Cloud::aggregate(
   return nn::weighted_average(group_models, w);
 }
 
+void Cloud::aggregate_into(std::span<float> out,
+                           std::span<const std::size_t> sampled,
+                           std::span<const std::span<const float>> group_models,
+                           runtime::ThreadPool* pool) const {
+  GF_CHECK_EQ(sampled.size(), group_models.size(),
+              "Cloud::aggregate_into: one model per sampled group");
+  for (std::size_t i = 0; i < sampled.size(); ++i)
+    GF_CHECK(sampled[i] < groups_.size(),
+             "Cloud::aggregate_into: group index ", sampled[i],
+             " out of range [0, ", groups_.size(), ")");
+  const std::vector<double> w = sampling::aggregation_weights(
+      aggregation_, sampled, p_, group_sizes_);
+  nn::weighted_average_into(out, group_models, w, pool);
+}
+
 }  // namespace groupfel::core

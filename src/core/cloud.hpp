@@ -38,6 +38,14 @@ class Cloud {
       std::span<const std::size_t> sampled,
       const std::vector<std::vector<float>>& group_models) const;
 
+  /// Allocation-free aggregate: writes into `out` (sized to the model) via
+  /// the fixed-shape parallel reduction. Bit-identical to aggregate() for
+  /// any pool, including nullptr (serial).
+  void aggregate_into(std::span<float> out,
+                      std::span<const std::size_t> sampled,
+                      std::span<const std::span<const float>> group_models,
+                      runtime::ThreadPool* pool = nullptr) const;
+
  private:
   sampling::SamplingMethod sampling_;
   sampling::AggregationMode aggregation_;

@@ -27,7 +27,8 @@ BatchStat eval_batch(nn::Model& model, const data::DataSet& test,
 }  // namespace
 
 EvalResult evaluate(nn::Model& model, const data::DataSet& test,
-                    std::size_t batch_size, runtime::ThreadPool* pool) {
+                    std::size_t batch_size, runtime::ThreadPool* pool,
+                    runtime::ModelReplicaCache<nn::Model>* replicas) {
   EvalResult res;
   if (test.size() == 0) return res;
   if (batch_size == 0) batch_size = test.size();
@@ -51,11 +52,24 @@ EvalResult evaluate(nn::Model& model, const data::DataSet& test,
                              std::min(test.size(), start + batch_size));
     }
   } else {
+    std::vector<float> flat;
+    if (replicas != nullptr) flat = model.flat_parameters();
     pool->parallel_for(chunks, [&](std::size_t c) {
-      nn::Model replica = model.clone();
+      // Each chunk needs a private model (forward caches activations);
+      // with a cache we reset this thread's persistent replica instead of
+      // constructing a throwaway clone.
+      nn::Model owned;
+      nn::Model* replica;
+      if (replicas != nullptr) {
+        replica = &replicas->local();
+        replica->set_flat_parameters(flat);
+      } else {
+        owned = model.clone();
+        replica = &owned;
+      }
       for (std::size_t bi = c; bi < num_batches; bi += chunks) {
         const std::size_t start = bi * batch_size;
-        stats[bi] = eval_batch(replica, test, start,
+        stats[bi] = eval_batch(*replica, test, start,
                                std::min(test.size(), start + batch_size));
       }
     });

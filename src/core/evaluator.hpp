@@ -3,6 +3,7 @@
 
 #include "data/dataset.hpp"
 #include "nn/model.hpp"
+#include "runtime/replica_cache.hpp"
 #include "runtime/thread_pool.hpp"
 
 namespace groupfel::core {
@@ -16,8 +17,12 @@ struct EvalResult {
 /// Batches are fanned out over `pool` (the shared global pool when null);
 /// the reduction runs in fixed batch order, so the result is bit-identical
 /// for any pool size — tests/thread_pool_edge_test.cpp pins this down.
-[[nodiscard]] EvalResult evaluate(nn::Model& model, const data::DataSet& test,
-                                  std::size_t batch_size = 256,
-                                  runtime::ThreadPool* pool = nullptr);
+/// With `replicas` set, the parallel path resets each worker thread's
+/// persistent replica to `model`'s parameters instead of cloning `model`
+/// per chunk; the cache's prototype must share `model`'s architecture.
+[[nodiscard]] EvalResult evaluate(
+    nn::Model& model, const data::DataSet& test, std::size_t batch_size = 256,
+    runtime::ThreadPool* pool = nullptr,
+    runtime::ModelReplicaCache<nn::Model>* replicas = nullptr);
 
 }  // namespace groupfel::core

@@ -1,5 +1,6 @@
 #include "core/trainer.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "algorithms/fedclar.hpp"
@@ -34,11 +35,13 @@ std::unique_ptr<algorithms::LocalUpdateRule> make_rule(
 
 GroupFelTrainer::GroupFelTrainer(FederationTopology topology,
                                  GroupFelConfig config,
-                                 cost::CostModel cost_model)
+                                 cost::CostModel cost_model,
+                                 runtime::ThreadPool* pool)
     : topo_(std::move(topology)),
       cfg_(config),
       cost_(std::move(cost_model)),
       cloud_(cfg_.sampling, cfg_.aggregation),
+      pool_(pool != nullptr ? pool : &runtime::ThreadPool::global()),
       run_rng_(cfg_.seed) {
   if (topo_.shards.empty())
     throw std::invalid_argument("GroupFelTrainer: no clients");
@@ -55,6 +58,7 @@ GroupFelTrainer::GroupFelTrainer(FederationTopology topology,
   prototype_ = topo_.model_factory();
   runtime::Rng init_rng = run_rng_.fork(0x696e6974ull /*"init"*/);
   prototype_.init(init_rng);
+  if (cfg_.reuse_model_replicas) replicas_.set_prototype(prototype_);
 
   runtime::Rng group_rng = run_rng_.fork(0x67727570ull /*"grup"*/);
   form_groups(group_rng);
@@ -80,18 +84,30 @@ GroupFelTrainer::GroupRun GroupFelTrainer::run_group(
   if (n_g <= 0.0) return run;
 
   const std::size_t members = group.clients.size();
+  const std::size_t dim = run.params.size();
+  // Persistent per-member parameter buffers: sized once here, refilled in
+  // place every group round, so the K-round loop performs no per-client
+  // vector allocations (the legacy path overwrites them with fresh vectors).
   std::vector<std::vector<float>> locals(members);
+  if (cfg_.reuse_model_replicas)
+    for (auto& l : locals) l.resize(dim);
   std::vector<double> losses(members, 0.0);
+  std::vector<bool> dropped(members, false);
+  std::vector<std::size_t> survivors;
 
   algorithms::LocalTrainConfig local_cfg = cfg_.local;
   local_cfg.epochs = cfg_.local_epochs;
 
   for (std::size_t k = 0; k < cfg_.group_rounds; ++k) {
+    // A member dropped this round would otherwise carry a stale loss from
+    // the round it last survived; only this round's survivors may
+    // contribute to the group's loss average.
+    std::fill(losses.begin(), losses.end(), 0.0);
     // Mobile churn: decide up front which members fail to report this
     // group round. Their training result is lost; if nobody survives, the
     // group model simply carries over.
-    std::vector<bool> dropped(members, false);
-    std::vector<std::size_t> survivors;
+    std::fill(dropped.begin(), dropped.end(), false);
+    survivors.clear();
     if (cfg_.client_dropout_rate > 0.0) {
       runtime::Rng drop_rng =
           run_rng_.fork(mix_tag(0xd209ull, round, group_tag * 131 + k));
@@ -109,16 +125,27 @@ GroupFelTrainer::GroupRun GroupFelTrainer::run_group(
     // Algorithm 1 lines 10-13: members train in parallel from the group
     // model. Determinism: each client's RNG is keyed by (round, group, k,
     // client), never by thread identity.
-    runtime::ThreadPool::global().parallel_for(members, [&](std::size_t m) {
+    pool_->parallel_for(members, [&](std::size_t m) {
       if (dropped[m]) return;
       const std::size_t cid = group.clients[m];
-      nn::Model model = prototype_.clone();
-      model.set_flat_parameters(run.params);
       runtime::Rng client_rng =
           run_rng_.fork(mix_tag(round, group_tag * 131 + k, cid));
-      losses[m] = rule_->train_client(model, topo_.shards[cid], run.params,
-                                      cid, local_cfg, client_rng);
-      locals[m] = model.flat_parameters();
+      if (cfg_.reuse_model_replicas) {
+        // O(1) model constructions per worker thread: reset this thread's
+        // persistent replica to the group model instead of cloning the
+        // prototype, and read the result into the member's reused buffer.
+        nn::Model& model = replicas_.local();
+        model.set_flat_parameters(run.params);
+        losses[m] = rule_->train_client(model, topo_.shards[cid], run.params,
+                                        cid, local_cfg, client_rng);
+        model.flat_parameters_into(locals[m]);
+      } else {
+        nn::Model model = prototype_.clone();
+        model.set_flat_parameters(run.params);
+        losses[m] = rule_->train_client(model, topo_.shards[cid], run.params,
+                                        cid, local_cfg, client_rng);
+        locals[m] = model.flat_parameters();
+      }
     });
 
     // Threat model: malicious clients submit sign-flipped, scaled updates
@@ -147,9 +174,17 @@ GroupFelTrainer::GroupRun GroupFelTrainer::run_group(
       std::vector<std::vector<float>> updates;
       updates.reserve(survivors.size());
       for (auto m : survivors) {
-        updates.push_back(locals[m]);
-        for (std::size_t i = 0; i < updates.back().size(); ++i)
-          updates.back()[i] -= run.params[i];
+        if (cfg_.reuse_model_replicas) {
+          // Turn the local model into its update in place and lend the
+          // buffer to the filter (moved back below, so the next group round
+          // refills it without reallocating).
+          for (std::size_t i = 0; i < dim; ++i) locals[m][i] -= run.params[i];
+          updates.push_back(std::move(locals[m]));
+        } else {
+          updates.push_back(locals[m]);
+          for (std::size_t i = 0; i < updates.back().size(); ++i)
+            updates.back()[i] -= run.params[i];
+        }
       }
       runtime::Rng flame_rng =
           run_rng_.fork(mix_tag(0xf1a3eull, round, group_tag * 131 + k));
@@ -159,6 +194,9 @@ GroupFelTrainer::GroupRun GroupFelTrainer::run_group(
                                     std::memory_order_relaxed);
       for (std::size_t i = 0; i < run.params.size(); ++i)
         run.params[i] += filtered.aggregated[i];
+      if (cfg_.reuse_model_replicas)
+        for (std::size_t s = 0; s < survivors.size(); ++s)
+          locals[survivors[s]] = std::move(updates[s]);
       accumulate_losses();
       continue;
     }
@@ -185,18 +223,44 @@ GroupFelTrainer::GroupRun GroupFelTrainer::run_group(
                                    secagg_rng);
       std::vector<std::optional<std::vector<secagg::Fe>>> slots(members);
       for (auto m : survivors) {
-        std::vector<float> scaled = locals[m];
         const float w = static_cast<float>(
             static_cast<double>(topo_.shards[group.clients[m]].size()) /
             surviving_data);
-        for (auto& v : scaled) v *= w;
-        slots[m] = agg.client_masked_input(m, scaled);
+        if (cfg_.reuse_model_replicas) {
+          // The protocol quantizes the scaled vector into field elements
+          // anyway; scale the member's buffer in place instead of copying
+          // the full model (it is refilled next round).
+          for (auto& v : locals[m]) v *= w;
+          slots[m] = agg.client_masked_input(m, locals[m]);
+        } else {
+          std::vector<float> scaled = locals[m];
+          for (auto& v : scaled) v *= w;
+          slots[m] = agg.client_masked_input(m, scaled);
+        }
       }
       try {
         run.params = agg.aggregate(slots);
       } catch (const std::runtime_error&) {
         // Below threshold: aggregation aborts, model carries over.
       }
+    } else if (cfg_.parallel_aggregation) {
+      // Fixed-shape reduction straight out of the members' buffers into
+      // run.params (pure output — the reduction reads only `locals`).
+      // Bit-identical to the legacy copy chain for any pool size.
+      std::vector<std::span<const float>> views;
+      std::vector<double> weights;
+      views.reserve(survivors.size());
+      weights.reserve(survivors.size());
+      for (auto m : survivors) {
+        GF_CHECK_EQ(locals[m].size(), run.params.size(),
+                    "group aggregation: client ", group.clients[m],
+                    " returned a flat vector of the wrong length");
+        views.emplace_back(locals[m]);
+        weights.push_back(
+            static_cast<double>(topo_.shards[group.clients[m]].size()) /
+            surviving_data);
+      }
+      nn::weighted_average_into(run.params, views, weights, pool_);
     } else {
       std::vector<std::vector<float>> surviving_models;
       std::vector<double> weights;
@@ -205,7 +269,10 @@ GroupFelTrainer::GroupRun GroupFelTrainer::run_group(
         GF_CHECK_EQ(locals[m].size(), run.params.size(),
                     "group aggregation: client ", group.clients[m],
                     " returned a flat vector of the wrong length");
-        surviving_models.push_back(std::move(locals[m]));
+        if (cfg_.reuse_model_replicas)
+          surviving_models.push_back(locals[m]);
+        else
+          surviving_models.push_back(std::move(locals[m]));
         weights.push_back(
             static_cast<double>(topo_.shards[group.clients[m]].size()) /
             surviving_data);
@@ -224,14 +291,23 @@ void GroupFelTrainer::fedclar_clusterize(const std::vector<float>& global_params
   algorithms::LocalTrainConfig probe_cfg = cfg_.local;
   probe_cfg.epochs = 1;
 
-  runtime::ThreadPool::global().parallel_for(n, [&](std::size_t cid) {
-    nn::Model model = prototype_.clone();
-    model.set_flat_parameters(global_params);
+  pool_->parallel_for(n, [&](std::size_t cid) {
     runtime::Rng rng = run_rng_.fork(mix_tag(0xfedc1a5ull, round, cid));
     algorithms::SgdRule probe;  // clustering probes use plain SGD
-    (void)probe.train_client(model, topo_.shards[cid], global_params, cid,
-                             probe_cfg, rng);
-    deltas[cid] = model.flat_parameters();
+    if (cfg_.reuse_model_replicas) {
+      nn::Model& model = replicas_.local();
+      model.set_flat_parameters(global_params);
+      (void)probe.train_client(model, topo_.shards[cid], global_params, cid,
+                               probe_cfg, rng);
+      deltas[cid].resize(global_params.size());
+      model.flat_parameters_into(deltas[cid]);
+    } else {
+      nn::Model model = prototype_.clone();
+      model.set_flat_parameters(global_params);
+      (void)probe.train_client(model, topo_.shards[cid], global_params, cid,
+                               probe_cfg, rng);
+      deltas[cid] = model.flat_parameters();
+    }
     for (std::size_t i = 0; i < deltas[cid].size(); ++i)
       deltas[cid][i] -= global_params[i];
   });
@@ -287,9 +363,19 @@ TrainResult GroupFelTrainer::train(double cost_budget) {
       net::model_bytes(prototype_.param_count(), rule_->communication_factor());
 
   auto record = [&](std::size_t round, double train_loss) {
-    nn::Model eval_model = prototype_.clone();
-    eval_model.set_flat_parameters(eval_params());
-    const EvalResult ev = evaluate(eval_model, *topo_.test_set);
+    const EvalResult ev = [&] {
+      if (cfg_.reuse_model_replicas) {
+        // Evaluate on the calling thread's persistent replica; the parallel
+        // batch path inside evaluate() draws worker replicas from the same
+        // cache instead of cloning per chunk.
+        nn::Model& eval_model = replicas_.local();
+        eval_model.set_flat_parameters(eval_params());
+        return evaluate(eval_model, *topo_.test_set, 256, pool_, &replicas_);
+      }
+      nn::Model eval_model = prototype_.clone();
+      eval_model.set_flat_parameters(eval_params());
+      return evaluate(eval_model, *topo_.test_set, 256, pool_);
+    }();
     result.history.push_back(RoundMetrics{round, ev.accuracy, ev.loss,
                                           train_loss, cost_.total(),
                                           comm_bytes});
@@ -319,17 +405,24 @@ TrainResult GroupFelTrainer::train(double cost_budget) {
     if (!clustered_) {
       std::vector<std::vector<float>> group_models(sampled.size());
       std::vector<GroupRun> runs(sampled.size());
-      runtime::ThreadPool::global().parallel_for(
-          sampled.size(), [&](std::size_t i) {
-            runs[i] =
-                run_group(cloud_.groups()[sampled[i]], params, t, sampled[i]);
-          });
+      pool_->parallel_for(sampled.size(), [&](std::size_t i) {
+        runs[i] = run_group(cloud_.groups()[sampled[i]], params, t, sampled[i]);
+      });
       for (std::size_t i = 0; i < sampled.size(); ++i) {
         group_models[i] = std::move(runs[i].params);
         round_loss += runs[i].loss_sum;
         round_batches += runs[i].loss_count;
       }
-      params = cloud_.aggregate(sampled, group_models);
+      if (cfg_.parallel_aggregation) {
+        // Fixed-shape parallel reduction into the existing global buffer
+        // (the reduction reads only group_models, so writing params is
+        // safe); bit-identical to the serial aggregate for any pool size.
+        const std::vector<std::span<const float>> views(group_models.begin(),
+                                                        group_models.end());
+        cloud_.aggregate_into(params, sampled, views, pool_);
+      } else {
+        params = cloud_.aggregate(sampled, group_models);
+      }
     } else {
       // FedCLAR path: each cluster aggregates its own members.
       std::vector<std::vector<float>> cluster_acc(cluster_params_.size());

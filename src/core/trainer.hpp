@@ -26,6 +26,8 @@
 #include "core/evaluator.hpp"
 #include "cost/cost_model.hpp"
 #include "data/label_matrix.hpp"
+#include "runtime/replica_cache.hpp"
+#include "runtime/thread_pool.hpp"
 
 namespace groupfel::core {
 
@@ -69,8 +71,13 @@ struct TrainResult {
 
 class GroupFelTrainer {
  public:
+  /// `pool` runs the parallel loops over groups, clients, and eval batches
+  /// (the shared global pool when null). Results are bit-identical for any
+  /// pool — all randomness is keyed by logical indices, and aggregation
+  /// uses a fixed-shape reduction.
   GroupFelTrainer(FederationTopology topology, GroupFelConfig config,
-                  cost::CostModel cost_model);
+                  cost::CostModel cost_model,
+                  runtime::ThreadPool* pool = nullptr);
 
   /// Runs the full Algorithm 1 loop. If `cost_budget > 0`, training stops
   /// once the accumulated Eq. 5 cost exceeds the budget (the paper's
@@ -83,6 +90,17 @@ class GroupFelTrainer {
   }
   [[nodiscard]] const std::vector<double>& sampling_probabilities() const {
     return cloud_.probabilities();
+  }
+
+  /// Model constructions performed by the per-thread replica cache so far
+  /// (0 when cfg.reuse_model_replicas is off). Steady state adds none —
+  /// bench/sim_round asserts this stays flat across later rounds.
+  [[nodiscard]] std::size_t replica_clone_count() const noexcept {
+    return replicas_.clone_count();
+  }
+  /// Threads currently holding a cached replica.
+  [[nodiscard]] std::size_t replica_thread_count() const {
+    return replicas_.replica_count();
   }
 
  private:
@@ -111,6 +129,8 @@ class GroupFelTrainer {
   data::LabelMatrix label_matrix_;
   std::unique_ptr<algorithms::LocalUpdateRule> rule_;
   nn::Model prototype_;
+  runtime::ThreadPool* pool_ = nullptr;
+  runtime::ModelReplicaCache<nn::Model> replicas_;
   runtime::Rng run_rng_;
 
   // FedCLAR state: cluster id per client and one model per cluster.

@@ -99,15 +99,13 @@ Tensor Conv2d::backward(const Tensor& grad_out) {
     grad_b_[co] += static_cast<float>(s);
   }
 
-  // dW += dY · im2col(x)ᵀ. The im2col matrix is recomputed from the cached
+  // dW += dY · im2col(x)ᵀ, accumulated straight into grad_w_ (the GEMM
+  // kernels add into C). The im2col matrix is recomputed from the cached
   // input (cheaper than holding it across the layer stack).
   auto cols = arena.acquire(kdim * ncols);
   detail::im2col(x.raw(), n, cin_, h, w, k_, pad_, cols.data());
-  auto gw = arena.acquire(cout_ * kdim);
-  detail::gemm(cout_, kdim, ncols, {dy.data(), ncols, 1},
-               {cols.data(), 1, ncols}, gw.data());
-  float* gwp = grad_w_.raw();
-  for (std::size_t i = 0; i < cout_ * kdim; ++i) gwp[i] += gw.data()[i];
+  detail::gemm_acc(cout_, kdim, ncols, {dy.data(), ncols, 1},
+                   {cols.data(), 1, ncols}, grad_w_.raw());
 
   // dX = col2im(Wᵀ · dY).
   auto gcols = arena.acquire(kdim * ncols);
@@ -120,6 +118,12 @@ Tensor Conv2d::backward(const Tensor& grad_out) {
 
 void Conv2d::for_each_param(
     const std::function<void(Tensor&, Tensor&)>& fn) {
+  fn(weight_, grad_w_);
+  fn(bias_, grad_b_);
+}
+
+void Conv2d::for_each_param(
+    const std::function<void(const Tensor&, const Tensor&)>& fn) const {
   fn(weight_, grad_w_);
   fn(bias_, grad_b_);
 }

@@ -190,13 +190,22 @@ void run_row_panel(MatView a, std::size_t ic, std::size_t mc, std::size_t pc,
 /// accumulators live in registers and stream B rows directly instead.
 constexpr std::size_t kSkinnyRows = 2 * MR;
 
+/// Below this many multiply-adds packing never amortizes even for taller C
+/// (the Aᵀ·B weight-gradient shapes: m = in_features, k = batch), so route
+/// them through the register-tiled skinny kernel as well.
+constexpr std::size_t kSkinnyFlops = 128 * 1024;
+
 /// One tile of up to MT ≤ 4 C rows across the full width n. B must be
 /// row-contiguous (b.cs == 1); A may be strided. MT is a template parameter
 /// so the accumulator array has constant bounds and stays in registers.
+/// `tail` is a k×NR zero-padded copy of B's last n%NR columns (nullptr when
+/// NR divides n): the ragged edge computes vectorized instead of one scalar
+/// column at a time.
 template <std::size_t MT>
 void skinny_tile(std::size_t n, std::size_t k, const float* __restrict arow,
                  std::size_t ars, std::size_t acs, const float* __restrict bp,
-                 std::size_t brs, float* __restrict c) {
+                 std::size_t brs, const float* __restrict tail,
+                 float* __restrict c) {
   std::size_t j = 0;
   for (; j + 4 * NR <= n; j += 4 * NR) {
     v16f acc[MT][4] = {};
@@ -228,27 +237,143 @@ void skinny_tile(std::size_t n, std::size_t k, const float* __restrict arow,
       *cp = static_cast<v16f>(*cp) + acc[i];
     }
   }
-  for (; j < n; ++j) {
-    float acc[MT] = {};
+  if (j < n) {
+    const std::size_t nt = n - j;
+    v16f acc[MT] = {};
     for (std::size_t p = 0; p < k; ++p) {
-      const float bvj = bp[p * brs + j];
+      const v16f bv = *reinterpret_cast<const v16f_u*>(tail + p * NR);
       for (std::size_t i = 0; i < MT; ++i)
-        acc[i] += arow[i * ars + p * acs] * bvj;
+        acc[i] += arow[i * ars + p * acs] * bv;
     }
-    for (std::size_t i = 0; i < MT; ++i) c[i * n + j] += acc[i];
+    for (std::size_t i = 0; i < MT; ++i) {
+      const float* lanes = reinterpret_cast<const float*>(&acc[i]);
+      for (std::size_t jj = 0; jj < nt; ++jj) c[i * n + j + jj] += lanes[jj];
+    }
   }
 }
 
 void gemm_skinny(std::size_t m, std::size_t n, std::size_t k, MatView a,
                  MatView b, float* c) {
+  // Stage the ragged last columns once; every row tile then runs fully
+  // vectorized (the narrow final layers, n = num_classes, hit this hard).
+  runtime::WorkspaceArena::Buffer tail_buf;
+  const float* tail = nullptr;
+  const std::size_t nt = n % NR;
+  if (nt != 0) {
+    tail_buf = runtime::WorkspaceArena::local().acquire(k * NR);
+    float* tp = tail_buf.data();
+    const float* src = b.p + (n - nt);
+    for (std::size_t p = 0; p < k; ++p, tp += NR) {
+      std::size_t jj = 0;
+      for (; jj < nt; ++jj) tp[jj] = src[p * b.rs + jj];
+      for (; jj < NR; ++jj) tp[jj] = 0.0f;
+    }
+    tail = tail_buf.data();
+  }
   for (std::size_t i0 = 0; i0 < m; i0 += 4) {
     const float* arow = a.p + i0 * a.rs;
     float* crow = c + i0 * n;
     switch (std::min<std::size_t>(4, m - i0)) {
-      case 4: skinny_tile<4>(n, k, arow, a.rs, a.cs, b.p, b.rs, crow); break;
-      case 3: skinny_tile<3>(n, k, arow, a.rs, a.cs, b.p, b.rs, crow); break;
-      case 2: skinny_tile<2>(n, k, arow, a.rs, a.cs, b.p, b.rs, crow); break;
-      default: skinny_tile<1>(n, k, arow, a.rs, a.cs, b.p, b.rs, crow); break;
+      case 4:
+        skinny_tile<4>(n, k, arow, a.rs, a.cs, b.p, b.rs, tail, crow);
+        break;
+      case 3:
+        skinny_tile<3>(n, k, arow, a.rs, a.cs, b.p, b.rs, tail, crow);
+        break;
+      case 2:
+        skinny_tile<2>(n, k, arow, a.rs, a.cs, b.p, b.rs, tail, crow);
+        break;
+      default:
+        skinny_tile<1>(n, k, arow, a.rs, a.cs, b.p, b.rs, tail, crow);
+        break;
+    }
+  }
+}
+
+inline float hsum(v16f v) {
+  const float* lanes = reinterpret_cast<const float*>(&v);
+  float s = 0.0f;
+  for (std::size_t l = 0; l < NR; ++l) s += lanes[l];
+  return s;
+}
+
+/// A·Bᵀ shapes (a.cs == 1, b.rs == 1): both operands are contiguous along k,
+/// so every C element is a dense dot product. The generic strided fallbacks
+/// read B with stride k here — a gather per element — while this kernel
+/// streams both rows vectorized and reduces at the end. j is tiled by 4 so
+/// each A-row load feeds four accumulators.
+constexpr std::size_t kDotFlops = 128 * 1024;
+
+/// IT C rows × 4 C columns of dot products per pass: 8 vector loads feed 16
+/// FMAs, double the arithmetic intensity of a single-row sweep.
+template <std::size_t IT>
+void dot_tile(std::size_t n, std::size_t k, const float* __restrict a0,
+              std::size_t ars, const float* __restrict bbase, std::size_t bcs,
+              float* __restrict c, std::size_t ldc) {
+  std::size_t j = 0;
+  for (; j + 4 <= n; j += 4) {
+    const float* __restrict b0 = bbase + j * bcs;
+    const float* __restrict b1 = bbase + (j + 1) * bcs;
+    const float* __restrict b2 = bbase + (j + 2) * bcs;
+    const float* __restrict b3 = bbase + (j + 3) * bcs;
+    v16f acc[IT][4] = {};
+    std::size_t p = 0;
+    for (; p + NR <= k; p += NR) {
+      v16f bv[4];
+      bv[0] = *reinterpret_cast<const v16f_u*>(b0 + p);
+      bv[1] = *reinterpret_cast<const v16f_u*>(b1 + p);
+      bv[2] = *reinterpret_cast<const v16f_u*>(b2 + p);
+      bv[3] = *reinterpret_cast<const v16f_u*>(b3 + p);
+      for (std::size_t i = 0; i < IT; ++i) {
+        const v16f av = *reinterpret_cast<const v16f_u*>(a0 + i * ars + p);
+        for (std::size_t q = 0; q < 4; ++q) acc[i][q] += av * bv[q];
+      }
+    }
+    float s[IT][4];
+    for (std::size_t i = 0; i < IT; ++i)
+      for (std::size_t q = 0; q < 4; ++q) s[i][q] = hsum(acc[i][q]);
+    for (; p < k; ++p) {
+      const float b0v = b0[p], b1v = b1[p], b2v = b2[p], b3v = b3[p];
+      for (std::size_t i = 0; i < IT; ++i) {
+        const float av = a0[i * ars + p];
+        s[i][0] += av * b0v;
+        s[i][1] += av * b1v;
+        s[i][2] += av * b2v;
+        s[i][3] += av * b3v;
+      }
+    }
+    for (std::size_t i = 0; i < IT; ++i)
+      for (std::size_t q = 0; q < 4; ++q) c[i * ldc + j + q] += s[i][q];
+  }
+  for (; j < n; ++j) {
+    const float* __restrict bj = bbase + j * bcs;
+    v16f acc[IT] = {};
+    std::size_t p = 0;
+    for (; p + NR <= k; p += NR) {
+      const v16f bv = *reinterpret_cast<const v16f_u*>(bj + p);
+      for (std::size_t i = 0; i < IT; ++i)
+        acc[i] += *reinterpret_cast<const v16f_u*>(a0 + i * ars + p) * bv;
+    }
+    float s[IT];
+    for (std::size_t i = 0; i < IT; ++i) s[i] = hsum(acc[i]);
+    for (; p < k; ++p) {
+      const float bjv = bj[p];
+      for (std::size_t i = 0; i < IT; ++i) s[i] += a0[i * ars + p] * bjv;
+    }
+    for (std::size_t i = 0; i < IT; ++i) c[i * ldc + j] += s[i];
+  }
+}
+
+void gemm_dot(std::size_t m, std::size_t n, std::size_t k, MatView a,
+              MatView b, float* __restrict c) {
+  for (std::size_t i0 = 0; i0 < m; i0 += 4) {
+    const float* a0 = a.p + i0 * a.rs;
+    float* crow = c + i0 * n;
+    switch (std::min<std::size_t>(4, m - i0)) {
+      case 4: dot_tile<4>(n, k, a0, a.rs, b.p, b.cs, crow, n); break;
+      case 3: dot_tile<3>(n, k, a0, a.rs, b.p, b.cs, crow, n); break;
+      case 2: dot_tile<2>(n, k, a0, a.rs, b.p, b.cs, crow, n); break;
+      default: dot_tile<1>(n, k, a0, a.rs, b.p, b.cs, crow, n); break;
     }
   }
 }
@@ -279,15 +404,18 @@ void gemm_small(std::size_t m, std::size_t n, std::size_t k, MatView a,
 /// cost; 2 MFLOP per task keeps small training-shape GEMMs inline.
 constexpr std::size_t kParallelFlops = 1u << 21;
 
-}  // namespace
-
-void gemm(std::size_t m, std::size_t n, std::size_t k, MatView a, MatView b,
-          float* c) {
-  std::fill_n(c, m * n, 0.0f);
+/// Shared accumulate-into-C body. Every kernel path adds onto whatever C
+/// already holds, so gemm() zero-fills first and gemm_acc() does not.
+void gemm_impl(std::size_t m, std::size_t n, std::size_t k, MatView a,
+               MatView b, float* c) {
   if (m == 0 || n == 0 || k == 0) return;
 #ifdef GROUPFEL_GEMM_VECTOR_EXT
-  if (m <= kSkinnyRows && b.cs == 1) {
+  if (b.cs == 1 && (m <= kSkinnyRows || m * n * k <= kSkinnyFlops)) {
     gemm_skinny(m, n, k, a, b, c);
+    return;
+  }
+  if (a.cs == 1 && b.rs == 1 && m * n * k <= kDotFlops) {
+    gemm_dot(m, n, k, a, b, c);
     return;
   }
 #endif
@@ -323,6 +451,19 @@ void gemm(std::size_t m, std::size_t n, std::size_t k, MatView a, MatView b,
       }
     }
   }
+}
+
+}  // namespace
+
+void gemm(std::size_t m, std::size_t n, std::size_t k, MatView a, MatView b,
+          float* c) {
+  std::fill_n(c, m * n, 0.0f);
+  gemm_impl(m, n, k, a, b, c);
+}
+
+void gemm_acc(std::size_t m, std::size_t n, std::size_t k, MatView a,
+              MatView b, float* c) {
+  gemm_impl(m, n, k, a, b, c);
 }
 
 }  // namespace groupfel::nn::detail

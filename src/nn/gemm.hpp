@@ -32,4 +32,10 @@ struct MatView {
 void gemm(std::size_t m, std::size_t n, std::size_t k, MatView a, MatView b,
           float* c);
 
+/// C += A·B — identical dispatch to gemm() minus the zero-fill. Lets weight
+/// gradients accumulate across micro-batches directly into the gradient
+/// tensor, with no staging buffer and no extra elementwise add pass.
+void gemm_acc(std::size_t m, std::size_t n, std::size_t k, MatView a,
+              MatView b, float* c);
+
 }  // namespace groupfel::nn::detail

@@ -34,6 +34,14 @@ class Layer {
     (void)fn;
   }
 
+  /// Read-only visit of every (parameter, gradient) tensor pair — lets
+  /// const models export flat parameter/gradient views without const_cast.
+  virtual void for_each_param(
+      const std::function<void(const Tensor& param, const Tensor& grad)>& fn)
+      const {
+    (void)fn;
+  }
+
   /// Total number of scalar parameters.
   [[nodiscard]] virtual std::size_t param_count() const { return 0; }
 
@@ -57,6 +65,8 @@ class Linear final : public Layer {
   Tensor backward(const Tensor& grad_out) override;
   void for_each_param(
       const std::function<void(Tensor&, Tensor&)>& fn) override;
+  void for_each_param(const std::function<void(const Tensor&, const Tensor&)>&
+                          fn) const override;
   [[nodiscard]] std::size_t param_count() const override;
   [[nodiscard]] std::unique_ptr<Layer> clone() const override;
   void init(runtime::Rng& rng) override;
@@ -114,6 +124,8 @@ class Conv2d final : public Layer {
   Tensor backward(const Tensor& grad_out) override;
   void for_each_param(
       const std::function<void(Tensor&, Tensor&)>& fn) override;
+  void for_each_param(const std::function<void(const Tensor&, const Tensor&)>&
+                          fn) const override;
   [[nodiscard]] std::size_t param_count() const override;
   [[nodiscard]] std::unique_ptr<Layer> clone() const override;
   void init(runtime::Rng& rng) override;

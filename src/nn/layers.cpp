@@ -44,11 +44,13 @@ Tensor Linear::backward(const Tensor& grad_out) {
            "Linear::backward: grad ", grad_out.shape_string(),
            " does not match cached input ", cached_input_.shape_string());
   // dW += X^T * dY ; db += column sums of dY ; dX = dY * W^T
-  Tensor gw({in_, out_});
-  matmul_at(cached_input_, grad_out, gw);
-  grad_w_ += gw;
-  for (std::size_t i = 0; i < n; ++i)
-    for (std::size_t j = 0; j < out_; ++j) grad_b_[j] += grad_out.at2(i, j);
+  matmul_at_acc(cached_input_, grad_out, grad_w_);
+  const float* go = grad_out.raw();
+  float* gb = grad_b_.raw();
+  for (std::size_t i = 0; i < n; ++i) {
+    const float* grow = go + i * out_;
+    for (std::size_t j = 0; j < out_; ++j) gb[j] += grow[j];
+  }
   Tensor grad_in({n, in_});
   matmul_bt(grad_out, weight_, grad_in);
   return grad_in;
@@ -56,6 +58,12 @@ Tensor Linear::backward(const Tensor& grad_out) {
 
 void Linear::for_each_param(
     const std::function<void(Tensor&, Tensor&)>& fn) {
+  fn(weight_, grad_w_);
+  fn(bias_, grad_b_);
+}
+
+void Linear::for_each_param(
+    const std::function<void(const Tensor&, const Tensor&)>& fn) const {
   fn(weight_, grad_w_);
   fn(bias_, grad_b_);
 }

@@ -1,7 +1,9 @@
 #include "nn/model.hpp"
 
+#include <algorithm>
 #include <cmath>
 
+#include "runtime/thread_pool.hpp"
 #include "util/check.hpp"
 
 namespace groupfel::nn {
@@ -39,13 +41,19 @@ std::size_t Model::param_count() const {
 }
 
 std::vector<float> Model::flat_parameters() const {
-  std::vector<float> flat;
-  flat.reserve(param_count());
-  for (const auto& l : layers_)
-    const_cast<Layer&>(*l).for_each_param([&](Tensor& p, Tensor&) {
-      flat.insert(flat.end(), p.data().begin(), p.data().end());
-    });
+  std::vector<float> flat(param_count());
+  flat_parameters_into(flat);
   return flat;
+}
+
+void Model::flat_parameters_into(std::span<float> out) const {
+  GF_CHECK_EQ(out.size(), param_count(), "flat_parameters_into");
+  std::size_t off = 0;
+  for_each_param([&](const Tensor& p, const Tensor&) {
+    std::copy_n(p.data().begin(), p.size(),
+                out.begin() + static_cast<std::ptrdiff_t>(off));
+    off += p.size();
+  });
 }
 
 void Model::set_flat_parameters(std::span<const float> flat) {
@@ -60,17 +68,31 @@ void Model::set_flat_parameters(std::span<const float> flat) {
 }
 
 std::vector<float> Model::flat_gradients() const {
-  std::vector<float> flat;
-  flat.reserve(param_count());
-  for (const auto& l : layers_)
-    const_cast<Layer&>(*l).for_each_param([&](Tensor&, Tensor& g) {
-      flat.insert(flat.end(), g.data().begin(), g.data().end());
-    });
+  std::vector<float> flat(param_count());
+  flat_gradients_into(flat);
   return flat;
+}
+
+void Model::flat_gradients_into(std::span<float> out) const {
+  GF_CHECK_EQ(out.size(), param_count(), "flat_gradients_into");
+  std::size_t off = 0;
+  for_each_param([&](const Tensor&, const Tensor& g) {
+    std::copy_n(g.data().begin(), g.size(),
+                out.begin() + static_cast<std::ptrdiff_t>(off));
+    off += g.size();
+  });
 }
 
 void Model::for_each_param(const std::function<void(Tensor&, Tensor&)>& fn) {
   for (auto& l : layers_) l->for_each_param(fn);
+}
+
+void Model::for_each_param(
+    const std::function<void(const Tensor&, const Tensor&)>& fn) const {
+  for (const auto& l : layers_) {
+    const Layer& layer = *l;
+    layer.for_each_param(fn);
+  }
 }
 
 Model Model::clone() const {
@@ -87,20 +109,49 @@ void axpy(std::vector<float>& out, std::span<const float> v, float scale) {
 std::vector<float> weighted_average(const std::vector<std::vector<float>>& vs,
                                     std::span<const double> weights) {
   GF_CHECK(!vs.empty(), "weighted_average: empty input");
-  GF_CHECK_EQ(vs.size(), weights.size(),
-              "weighted_average: one weight per model");
-  std::vector<double> acc(vs[0].size(), 0.0);
-  for (std::size_t i = 0; i < vs.size(); ++i) {
-    GF_CHECK_EQ(vs[i].size(), acc.size(), "weighted_average: ragged input ",
-                i);
-    const double w = weights[i];
-    for (std::size_t j = 0; j < acc.size(); ++j)
-      acc[j] += w * static_cast<double>(vs[i][j]);
-  }
-  std::vector<float> out(acc.size());
-  for (std::size_t j = 0; j < acc.size(); ++j)
-    out[j] = static_cast<float>(acc[j]);
+  std::vector<std::span<const float>> views(vs.begin(), vs.end());
+  std::vector<float> out(vs[0].size());
+  weighted_average_into(out, views, weights);
   return out;
+}
+
+namespace {
+/// Reduction block size in elements. Fixed by the parameter count alone so
+/// the work decomposition — and therefore the result — never depends on how
+/// many threads execute it.
+constexpr std::size_t kReduceBlock = 8192;
+}  // namespace
+
+void weighted_average_into(std::span<float> out,
+                           std::span<const std::span<const float>> vs,
+                           std::span<const double> weights,
+                           runtime::ThreadPool* pool) {
+  GF_CHECK(!vs.empty(), "weighted_average_into: empty input");
+  GF_CHECK_EQ(vs.size(), weights.size(),
+              "weighted_average_into: one weight per model");
+  const std::size_t dim = out.size();
+  for (std::size_t i = 0; i < vs.size(); ++i)
+    GF_CHECK_EQ(vs[i].size(), dim, "weighted_average_into: ragged input ", i);
+
+  // Each element sums over models in index order in double precision — the
+  // same per-element order as the original serial loop — so blocking (and
+  // running blocks on any number of threads) cannot change a single bit.
+  const auto reduce_block = [&](std::size_t bi) {
+    const std::size_t j0 = bi * kReduceBlock;
+    const std::size_t j1 = std::min(dim, j0 + kReduceBlock);
+    for (std::size_t j = j0; j < j1; ++j) {
+      double s = 0.0;
+      for (std::size_t i = 0; i < vs.size(); ++i)
+        s += weights[i] * static_cast<double>(vs[i][j]);
+      out[j] = static_cast<float>(s);
+    }
+  };
+  const std::size_t blocks = (dim + kReduceBlock - 1) / kReduceBlock;
+  if (pool != nullptr && pool->size() > 1 && blocks > 1) {
+    pool->parallel_for(blocks, reduce_block);
+  } else {
+    for (std::size_t bi = 0; bi < blocks; ++bi) reduce_block(bi);
+  }
 }
 
 double l2_distance(std::span<const float> a, std::span<const float> b) {

@@ -12,6 +12,10 @@
 #include "nn/loss.hpp"
 #include "nn/tensor.hpp"
 
+namespace groupfel::runtime {
+class ThreadPool;
+}
+
 namespace groupfel::nn {
 
 class Model {
@@ -39,14 +43,27 @@ class Model {
   /// Copies all parameters into one flat vector (layer order, tensor order).
   [[nodiscard]] std::vector<float> flat_parameters() const;
 
+  /// Copies all parameters into a caller-owned buffer of exactly
+  /// param_count() floats. The allocation-free form of flat_parameters():
+  /// the simulation loop reuses one persistent buffer per client instead of
+  /// materializing a fresh vector every group round.
+  void flat_parameters_into(std::span<float> out) const;
+
   /// Overwrites all parameters from a flat vector (must match param_count).
   void set_flat_parameters(std::span<const float> flat);
 
   /// Copies all accumulated gradients into one flat vector.
   [[nodiscard]] std::vector<float> flat_gradients() const;
 
+  /// Allocation-free form of flat_gradients() (see flat_parameters_into).
+  void flat_gradients_into(std::span<float> out) const;
+
   /// Visits every (param, grad) pair across all layers.
   void for_each_param(const std::function<void(Tensor&, Tensor&)>& fn);
+
+  /// Read-only visit of every (param, grad) pair across all layers.
+  void for_each_param(
+      const std::function<void(const Tensor&, const Tensor&)>& fn) const;
 
   /// Deep copy (same parameters, fresh caches).
   [[nodiscard]] Model clone() const;
@@ -68,6 +85,19 @@ void axpy(std::vector<float>& out, std::span<const float> v, float scale);
 /// Weighted average of parameter vectors: sum_i w[i] * vs[i].
 [[nodiscard]] std::vector<float> weighted_average(
     const std::vector<std::vector<float>>& vs, std::span<const double> weights);
+
+/// out[j] = sum_i weights[i] * vs[i][j], written into a caller-owned buffer
+/// (every vs[i] must match out.size()). The reduction is split into
+/// fixed-size parameter-index blocks whose shape depends only on the vector
+/// length — never on the pool size — and each element accumulates over
+/// models in index order in double precision, so the result is bit-identical
+/// to the serial loop for any pool (including pool == nullptr, which runs
+/// the blocks inline). This is the deterministic parallel aggregation path
+/// used by group and cloud aggregation.
+void weighted_average_into(std::span<float> out,
+                           std::span<const std::span<const float>> vs,
+                           std::span<const double> weights,
+                           runtime::ThreadPool* pool = nullptr);
 
 /// Euclidean distance between two flat vectors.
 [[nodiscard]] double l2_distance(std::span<const float> a,

@@ -56,6 +56,18 @@ void ResidualBlock::for_each_param(
   if (proj_) proj_->for_each_param(fn);
 }
 
+void ResidualBlock::for_each_param(
+    const std::function<void(const Tensor&, const Tensor&)>& fn) const {
+  const Conv2d& c1 = *conv1_;
+  const Conv2d& c2 = *conv2_;
+  c1.for_each_param(fn);
+  c2.for_each_param(fn);
+  if (proj_) {
+    const Conv2d& p = *proj_;
+    p.for_each_param(fn);
+  }
+}
+
 std::size_t ResidualBlock::param_count() const {
   return conv1_->param_count() + conv2_->param_count() +
          (proj_ ? proj_->param_count() : 0);

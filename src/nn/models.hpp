@@ -20,6 +20,8 @@ class ResidualBlock final : public Layer {
   Tensor backward(const Tensor& grad_out) override;
   void for_each_param(
       const std::function<void(Tensor&, Tensor&)>& fn) override;
+  void for_each_param(const std::function<void(const Tensor&, const Tensor&)>&
+                          fn) const override;
   [[nodiscard]] std::size_t param_count() const override;
   [[nodiscard]] std::unique_ptr<Layer> clone() const override;
   void init(runtime::Rng& rng) override;

@@ -2,11 +2,14 @@
 
 namespace groupfel::nn {
 
-void SgdOptimizer::step(Model& model, const GradAdjust& adjust) {
+void SgdOptimizer::step(Model& model, const GradAdjust& adjust,
+                        bool zero_grads) {
   const std::size_t total = model.param_count();
   if (opts_.momentum != 0.0f && velocity_.size() != total)
     velocity_.assign(total, 0.0f);
 
+  const float lr = opts_.lr;
+  const float mu = opts_.momentum;
   std::size_t offset = 0;
   model.for_each_param([&](Tensor& p, Tensor& g) {
     auto param = p.data();
@@ -16,15 +19,32 @@ void SgdOptimizer::step(Model& model, const GradAdjust& adjust) {
         grad[i] += opts_.weight_decay * param[i];
     if (adjust) adjust(offset, param, grad);
 
-    if (opts_.momentum != 0.0f) {
-      for (std::size_t i = 0; i < grad.size(); ++i) {
-        float& v = velocity_[offset + i];
-        v = opts_.momentum * v + grad[i];
-        param[i] -= opts_.lr * v;
+    float* __restrict pp = param.data();
+    float* __restrict gp = grad.data();
+    const std::size_t sz = grad.size();
+    if (mu != 0.0f) {
+      float* __restrict vp = velocity_.data() + offset;
+      if (zero_grads) {
+        for (std::size_t i = 0; i < sz; ++i) {
+          const float v = mu * vp[i] + gp[i];
+          vp[i] = v;
+          pp[i] -= lr * v;
+          gp[i] = 0.0f;
+        }
+      } else {
+        for (std::size_t i = 0; i < sz; ++i) {
+          const float v = mu * vp[i] + gp[i];
+          vp[i] = v;
+          pp[i] -= lr * v;
+        }
+      }
+    } else if (zero_grads) {
+      for (std::size_t i = 0; i < sz; ++i) {
+        pp[i] -= lr * gp[i];
+        gp[i] = 0.0f;
       }
     } else {
-      for (std::size_t i = 0; i < grad.size(); ++i)
-        param[i] -= opts_.lr * grad[i];
+      for (std::size_t i = 0; i < sz; ++i) pp[i] -= lr * gp[i];
     }
     offset += param.size();
   });

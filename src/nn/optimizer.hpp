@@ -27,8 +27,12 @@ class SgdOptimizer {
 
   explicit SgdOptimizer(SgdOptions opts) : opts_(opts) {}
 
-  /// Applies one SGD step to `model` using its accumulated gradients.
-  void step(Model& model, const GradAdjust& adjust = nullptr);
+  /// Applies one SGD step to `model` using its accumulated gradients. With
+  /// `zero_grads` the gradients are cleared in the same pass that consumes
+  /// them, sparing the tight training loop a separate zero_grad() traversal
+  /// of every gradient tensor per batch.
+  void step(Model& model, const GradAdjust& adjust = nullptr,
+            bool zero_grads = false);
 
   [[nodiscard]] const SgdOptions& options() const noexcept { return opts_; }
   void set_lr(float lr) noexcept { opts_.lr = lr; }

@@ -97,6 +97,15 @@ void matmul_at(const Tensor& a, const Tensor& b, Tensor& out) {
   detail::gemm(k, n, m, {a.raw(), 1, k}, {b.raw(), n, 1}, out.raw());
 }
 
+void matmul_at_acc(const Tensor& a, const Tensor& b, Tensor& out) {
+  // out[k, n] += a[m, k]^T * b[m, n]
+  const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  GF_CHECK(b.dim(0) == m && out.dim(0) == k && out.dim(1) == n,
+           "matmul_at_acc: ", a.shape_string(), "^T x ", b.shape_string(),
+           " -> ", out.shape_string());
+  detail::gemm_acc(k, n, m, {a.raw(), 1, k}, {b.raw(), n, 1}, out.raw());
+}
+
 void matmul_naive(const Tensor& a, const Tensor& b, Tensor& out) {
   const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
   GF_CHECK(b.dim(0) == k && out.dim(0) == m && out.dim(1) == n,

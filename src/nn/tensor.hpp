@@ -87,6 +87,11 @@ void matmul_bt(const Tensor& a, const Tensor& b, Tensor& out);
 /// C = Aᵀ(k×m becomes m rows) · B; used for weight gradients.
 void matmul_at(const Tensor& a, const Tensor& b, Tensor& out);
 
+/// C += Aᵀ · B. Accumulating form of matmul_at: dense backward adds the
+/// micro-batch weight gradient straight into the gradient tensor instead of
+/// staging it in a weight-sized temporary.
+void matmul_at_acc(const Tensor& a, const Tensor& b, Tensor& out);
+
 // Naive triple-loop oracles for the kernels above. Retained as the
 // correctness reference for tests and the baseline for bench/micro_kernels;
 // not used on any training path.

@@ -7,6 +7,8 @@
 #include "data/synthetic.hpp"
 #include "nn/optimizer.hpp"
 #include "nn/models.hpp"
+#include "runtime/replica_cache.hpp"
+#include "runtime/thread_pool.hpp"
 
 namespace groupfel::core {
 namespace {
@@ -47,6 +49,29 @@ TEST(Evaluator, BatchSizeDoesNotChangeResult) {
   const EvalResult b = evaluate(m, test, 1000);
   EXPECT_DOUBLE_EQ(a.accuracy, b.accuracy);
   EXPECT_NEAR(a.loss, b.loss, 1e-9);
+}
+
+TEST(Evaluator, ReplicaCacheMatchesClonePerChunkPath) {
+  runtime::Rng rng(7);
+  data::SyntheticSpec spec;
+  spec.num_classes = 5;
+  spec.sample_shape = {8};
+  const data::DataSet test = data::make_synthetic(spec, 500, rng);
+  nn::Model m = nn::make_mlp(8, 16, 5);
+  runtime::Rng irng(8);
+  m.init(irng);
+
+  runtime::ThreadPool pool(2);
+  const EvalResult cloned = evaluate(m, test, 64, &pool);
+  runtime::ModelReplicaCache<nn::Model> cache(m);
+  const EvalResult cached = evaluate(m, test, 64, &pool, &cache);
+  EXPECT_DOUBLE_EQ(cloned.accuracy, cached.accuracy);
+  EXPECT_DOUBLE_EQ(cloned.loss, cached.loss);
+  // The cache constructs at most one replica per participating thread
+  // (2 workers + the caller), never one per chunk or per call.
+  const EvalResult again = evaluate(m, test, 64, &pool, &cache);
+  EXPECT_DOUBLE_EQ(again.loss, cached.loss);
+  EXPECT_LE(cache.clone_count(), 3u);
 }
 
 TEST(Evaluator, SeparableTaskReachesHighAccuracy) {

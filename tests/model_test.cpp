@@ -2,8 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "nn/models.hpp"
 #include "nn/optimizer.hpp"
+#include "runtime/thread_pool.hpp"
 
 namespace groupfel::nn {
 namespace {
@@ -206,6 +209,63 @@ TEST(FlatOps, L2Distance) {
   const std::vector<float> a{0.0f, 3.0f};
   const std::vector<float> b{4.0f, 0.0f};
   EXPECT_DOUBLE_EQ(l2_distance(a, b), 5.0);
+}
+
+TEST(Model, FlatIntoMatchesAllocatingVariants) {
+  runtime::Rng rng(11);
+  Model m = small_mlp(rng);
+  // Produce non-zero gradients so flat_gradients_into has real content.
+  Tensor x({2, 4});
+  for (auto& v : x.data()) v = 0.5f;
+  Tensor logits = m.forward(x, /*train=*/true);
+  Tensor grad(logits.shape());
+  for (auto& v : grad.data()) v = 1.0f;
+  m.backward(grad);
+
+  std::vector<float> params(m.param_count());
+  std::vector<float> grads(m.param_count());
+  m.flat_parameters_into(params);
+  m.flat_gradients_into(grads);
+  EXPECT_EQ(params, m.flat_parameters());
+  EXPECT_EQ(grads, m.flat_gradients());
+
+  std::vector<float> wrong(m.param_count() + 1);
+  EXPECT_THROW(m.flat_parameters_into(wrong), std::invalid_argument);
+  EXPECT_THROW(m.flat_gradients_into(wrong), std::invalid_argument);
+}
+
+TEST(Model, ConstForEachParamVisitsSameTensors) {
+  runtime::Rng rng(12);
+  Model m = small_mlp(rng);
+  std::vector<const Tensor*> mutable_view;
+  m.for_each_param(
+      [&](Tensor& p, Tensor&) { mutable_view.push_back(&p); });
+  std::vector<const Tensor*> const_view;
+  const Model& cm = m;
+  cm.for_each_param(
+      [&](const Tensor& p, const Tensor&) { const_view.push_back(&p); });
+  EXPECT_EQ(mutable_view, const_view);
+}
+
+TEST(FlatOps, WeightedAverageIntoBitIdenticalForAnyPool) {
+  // Spans several kReduceBlock blocks so the parallel path actually splits.
+  const std::size_t dim = 20000;
+  runtime::Rng rng(13);
+  std::vector<std::vector<float>> vs(3, std::vector<float>(dim));
+  for (auto& v : vs)
+    for (auto& x : v) x = static_cast<float>(rng.normal());
+  const std::vector<double> w{0.2, 0.5, 0.3};
+  const std::vector<float> serial = weighted_average(vs, w);
+
+  const std::vector<std::span<const float>> views(vs.begin(), vs.end());
+  std::vector<float> out(dim);
+  weighted_average_into(out, views, w, nullptr);
+  EXPECT_EQ(out, serial);
+
+  runtime::ThreadPool pool(3);
+  std::fill(out.begin(), out.end(), 0.0f);
+  weighted_average_into(out, views, w, &pool);
+  EXPECT_EQ(out, serial);
 }
 
 }  // namespace

@@ -1,0 +1,71 @@
+// Tests of the per-thread model-replica cache that backs the simulation
+// hot path (runtime/replica_cache.hpp).
+#include "runtime/replica_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "runtime/thread_pool.hpp"
+
+namespace groupfel::runtime {
+namespace {
+
+/// Minimal stand-in satisfying the cache's clone() requirement; runtime/
+/// sits below nn/, so the cache never names a concrete model type.
+struct FakeModel {
+  int value = 0;
+  [[nodiscard]] FakeModel clone() const { return FakeModel{value}; }
+};
+
+TEST(ReplicaCache, ThrowsWithoutPrototype) {
+  ModelReplicaCache<FakeModel> cache;
+  EXPECT_FALSE(cache.has_prototype());
+  EXPECT_THROW(cache.local(), std::logic_error);
+}
+
+TEST(ReplicaCache, ClonesPrototypeOncePerThread) {
+  ModelReplicaCache<FakeModel> cache(FakeModel{42});
+  EXPECT_TRUE(cache.has_prototype());
+  FakeModel& a = cache.local();
+  EXPECT_EQ(a.value, 42);
+  a.value = 7;  // state persists across uses on the same thread
+  FakeModel& b = cache.local();
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(b.value, 7);
+  EXPECT_EQ(cache.clone_count(), 1u);
+  EXPECT_EQ(cache.replica_count(), 1u);
+}
+
+TEST(ReplicaCache, DistinctThreadsGetDistinctReplicas) {
+  ModelReplicaCache<FakeModel> cache(FakeModel{1});
+  ThreadPool pool(3);
+  std::mutex mu;
+  std::set<FakeModel*> seen;
+  pool.parallel_for(64, [&](std::size_t) {
+    FakeModel* mine = &cache.local();
+    // Same thread, same slot: a second lookup inside one iteration must
+    // return the identical object.
+    ASSERT_EQ(mine, &cache.local());
+    std::lock_guard<std::mutex> lock(mu);
+    seen.insert(mine);
+  });
+  // At most one replica per participating thread (3 workers + caller), and
+  // exactly one clone per distinct replica handed out.
+  EXPECT_GE(seen.size(), 1u);
+  EXPECT_LE(seen.size(), 4u);
+  EXPECT_EQ(cache.clone_count(), seen.size());
+  EXPECT_EQ(cache.replica_count(), seen.size());
+}
+
+TEST(ReplicaCache, SetPrototypeDropsReplicas) {
+  ModelReplicaCache<FakeModel> cache(FakeModel{1});
+  cache.local().value = 99;
+  cache.set_prototype(FakeModel{5});
+  EXPECT_EQ(cache.replica_count(), 0u);
+  // Lazily re-cloned from the NEW prototype, not the stale replica.
+  EXPECT_EQ(cache.local().value, 5);
+}
+
+}  // namespace
+}  // namespace groupfel::runtime
