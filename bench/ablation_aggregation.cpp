@@ -9,30 +9,39 @@
 
 using namespace groupfel;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init(argc, argv);
   core::ExperimentSpec spec = core::default_cifar_spec(bench::bench_scale());
-  const core::Experiment exp = core::build_experiment(spec);
 
-  std::vector<util::Series> series;
-  std::vector<std::vector<std::string>> rows;
+  // One sweep; the cells share one federation (identical specs dedup).
+  std::vector<core::SweepCell> cells;
   for (const auto mode : {sampling::AggregationMode::kBiased,
                           sampling::AggregationMode::kUnbiased,
                           sampling::AggregationMode::kStabilized}) {
-    core::GroupFelConfig cfg = bench::base_config();
-    core::apply_method(core::Method::kGroupFel, cfg);  // ESRCoV sampling
-    cfg.aggregation = mode;
-    core::GroupFelTrainer trainer(
-        exp.topology, cfg,
-        core::build_cost_model(spec.task, cost::GroupOp::kSecAgg));
-    const core::TrainResult result = trainer.train();
-    series.push_back(bench::round_series(sampling::to_string(mode), result));
+    core::SweepCell cell;
+    cell.label = sampling::to_string(mode);
+    cell.spec = spec;
+    cell.config = bench::base_config();
+    core::apply_method(core::Method::kGroupFel, cell.config);  // ESRCoV
+    cell.config.aggregation = mode;
+    cell.task = spec.task;
+    cell.op = cost::GroupOp::kSecAgg;
+    cells.push_back(std::move(cell));
+  }
+  const auto results = bench::run_cells(cells);
+
+  std::vector<util::Series> series;
+  std::vector<std::vector<std::string>> rows;
+  for (const auto& cell : results) {
+    const core::TrainResult& result = cell.result;
+    series.push_back(bench::round_series(cell.label, result));
 
     // Instability metric: worst round-over-round accuracy drop.
     double worst_drop = 0.0;
     for (std::size_t i = 1; i < result.history.size(); ++i)
       worst_drop = std::max(worst_drop, result.history[i - 1].accuracy -
                                             result.history[i].accuracy);
-    rows.push_back({sampling::to_string(mode),
+    rows.push_back({cell.label,
                     util::fixed(result.best_accuracy, 4),
                     util::fixed(result.final_accuracy, 4),
                     util::fixed(worst_drop, 4)});

@@ -9,23 +9,32 @@
 
 using namespace groupfel;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init(argc, argv);
   core::ExperimentSpec spec = core::default_cifar_spec(bench::bench_scale());
-  const core::Experiment exp = core::build_experiment(spec);
+
+  // One sweep; the cells share one federation (identical specs dedup).
+  const std::vector<double> rates{0.0, 0.1, 0.3, 0.5};
+  std::vector<core::SweepCell> cells;
+  for (const double rate : rates) {
+    core::SweepCell cell;
+    cell.label = "drop=" + util::num(rate, 2);
+    cell.spec = spec;
+    cell.config = bench::base_config();
+    core::apply_method(core::Method::kGroupFel, cell.config);
+    cell.config.client_dropout_rate = rate;
+    cell.task = spec.task;
+    cell.op = cost::GroupOp::kSecAgg;
+    cells.push_back(std::move(cell));
+  }
+  const auto results = bench::run_cells(cells);
 
   std::vector<util::Series> series;
   std::vector<std::vector<std::string>> rows;
-  for (const double rate : {0.0, 0.1, 0.3, 0.5}) {
-    core::GroupFelConfig cfg = bench::base_config();
-    core::apply_method(core::Method::kGroupFel, cfg);
-    cfg.client_dropout_rate = rate;
-    core::GroupFelTrainer trainer(
-        exp.topology, cfg,
-        core::build_cost_model(spec.task, cost::GroupOp::kSecAgg));
-    const core::TrainResult result = trainer.train();
-    series.push_back(
-        bench::round_series("drop=" + util::num(rate, 2), result));
-    rows.push_back({util::num(rate, 2),
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const core::TrainResult& result = results[i].result;
+    series.push_back(bench::round_series(results[i].label, result));
+    rows.push_back({util::num(rates[i], 2),
                     util::fixed(result.best_accuracy, 4),
                     util::fixed(result.final_accuracy, 4)});
   }

@@ -79,7 +79,8 @@ CompressionRun run_compressed_fl(const core::Experiment& exp,
 }
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init(argc, argv);
   core::ExperimentSpec spec = core::default_cifar_spec(bench::bench_scale());
   const core::Experiment exp = core::build_experiment(spec);
   const std::size_t rounds = bench::bench_rounds();

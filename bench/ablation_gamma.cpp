@@ -10,41 +10,56 @@
 
 using namespace groupfel;
 
-int main() {
-  std::vector<util::Series> series;
-  std::vector<std::vector<std::string>> rows;
+int main(int argc, char** argv) {
+  bench::init(argc, argv);
+
+  // Build the cells and measure the realized gamma per configuration with a
+  // probe trainer (grouping is deterministic in the seed, so the probe forms
+  // exactly the groups the sweep cell will), then train all cells as one
+  // sweep.
+  std::vector<core::SweepCell> cells;
+  std::vector<double> mean_gammas;
   for (const double size_std : {2.0, 15.0, 30.0}) {
     core::ExperimentSpec spec = core::default_cifar_spec(bench::bench_scale());
-      spec.size_std = size_std;
+    spec.size_std = size_std;
+
+    core::SweepCell cell;
+    cell.label = "size_std=" + util::num(size_std, 3);
+    cell.spec = spec;
+    cell.config = bench::base_config();
+    core::apply_method(core::Method::kGroupFel, cell.config);
+    cell.task = spec.task;
+    cell.op = cost::GroupOp::kSecAgg;
+
     const core::Experiment exp = core::build_experiment(spec);
-
-    core::GroupFelConfig cfg = bench::base_config();
-    core::apply_method(core::Method::kGroupFel, cfg);
-    core::GroupFelTrainer trainer(
-        exp.topology, cfg,
+    core::GroupFelTrainer probe(
+        exp.topology, cell.config,
         core::build_cost_model(spec.task, cost::GroupOp::kSecAgg));
-
-    // Realized mean gamma over formed groups.
     double gamma_sum = 0.0;
-    for (const auto& g : trainer.groups()) {
+    for (const auto& g : probe.groups()) {
       std::vector<double> counts;
       for (auto cid : g.clients)
         counts.push_back(static_cast<double>(exp.topology.shards[cid].size()));
       const double cov_sizes = util::coefficient_of_variation(counts);
       gamma_sum += 1.0 + cov_sizes * cov_sizes;
     }
-    const double mean_gamma =
-        gamma_sum / static_cast<double>(trainer.groups().size());
+    mean_gammas.push_back(gamma_sum /
+                          static_cast<double>(probe.groups().size()));
+    cells.push_back(std::move(cell));
+  }
+  const auto results = bench::run_cells(cells);
 
-    const core::TrainResult result = trainer.train();
-    const std::string name = "size_std=" + util::num(size_std, 3);
-    series.push_back(bench::round_series(name, result));
+  std::vector<util::Series> series;
+  std::vector<std::vector<std::string>> rows;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const core::TrainResult& result = results[i].result;
+    series.push_back(bench::round_series(results[i].label, result));
 
     double worst_drop = 0.0;
-    for (std::size_t i = 1; i < result.history.size(); ++i)
-      worst_drop = std::max(worst_drop, result.history[i - 1].accuracy -
-                                            result.history[i].accuracy);
-    rows.push_back({name, util::fixed(mean_gamma, 3),
+    for (std::size_t j = 1; j < result.history.size(); ++j)
+      worst_drop = std::max(worst_drop, result.history[j - 1].accuracy -
+                                            result.history[j].accuracy);
+    rows.push_back({results[i].label, util::fixed(mean_gammas[i], 3),
                     util::fixed(result.best_accuracy, 4),
                     util::fixed(worst_drop, 4)});
   }

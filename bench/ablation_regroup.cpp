@@ -8,25 +8,32 @@
 
 using namespace groupfel;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init(argc, argv);
   core::ExperimentSpec spec = core::default_cifar_spec(bench::bench_scale());
-  const core::Experiment exp = core::build_experiment(spec);
+
+  // One sweep; the cells share one federation (identical specs dedup).
+  std::vector<core::SweepCell> cells;
+  for (const std::size_t interval : {0u, 5u, 10u}) {
+    core::SweepCell cell;
+    cell.label =
+        interval == 0 ? "no regroup" : "every " + std::to_string(interval);
+    cell.spec = spec;
+    cell.config = bench::base_config();
+    core::apply_method(core::Method::kGroupFel, cell.config);
+    cell.config.regroup_interval = interval;
+    cell.task = spec.task;
+    cell.op = cost::GroupOp::kSecAgg;
+    cells.push_back(std::move(cell));
+  }
+  const auto results = bench::run_cells(cells);
 
   std::vector<util::Series> series;
   std::vector<std::vector<std::string>> rows;
-  for (const std::size_t interval : {0u, 5u, 10u}) {
-    core::GroupFelConfig cfg = bench::base_config();
-    core::apply_method(core::Method::kGroupFel, cfg);
-    cfg.regroup_interval = interval;
-    core::GroupFelTrainer trainer(
-        exp.topology, cfg,
-        core::build_cost_model(spec.task, cost::GroupOp::kSecAgg));
-    const core::TrainResult result = trainer.train();
-    const std::string name =
-        interval == 0 ? "no regroup" : "every " + std::to_string(interval);
-    series.push_back(bench::round_series(name, result));
-    rows.push_back({name, util::fixed(result.best_accuracy, 4),
-                    util::fixed(result.final_accuracy, 4)});
+  for (const auto& cell : results) {
+    series.push_back(bench::round_series(cell.label, cell.result));
+    rows.push_back({cell.label, util::fixed(cell.result.best_accuracy, 4),
+                    util::fixed(cell.result.final_accuracy, 4)});
   }
 
   std::cout << util::ascii_table("Regrouping ablation",

@@ -45,7 +45,8 @@ double estimate_round_seconds(const core::Experiment& exp,
 }
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init(argc, argv);
   core::ExperimentSpec spec = core::default_cifar_spec(bench::bench_scale());
   const core::Experiment exp = core::build_experiment(spec);
   const core::GroupFelConfig base = bench::base_config();

@@ -1,42 +1,112 @@
 // Shared helpers for the per-figure benchmark drivers.
 //
 // Scaling: the paper's experiments ran on 8 V100s; this repository targets
-// one CPU core. GROUPFEL_BENCH_SCALE (default 0.33) scales client counts /
-// data sizes, and GROUPFEL_BENCH_ROUNDS (default 30) sets T. The SHAPE of
-// every reproduced curve is preserved; absolute cost/accuracy values shift
-// with scale. Set GROUPFEL_BENCH_SCALE=1 GROUPFEL_BENCH_ROUNDS=200 for a
-// paper-scale run.
+// one CPU core. `--scale` (default 0.33) scales client counts / data sizes,
+// and `--rounds` (default 30) sets T. The SHAPE of every reproduced curve is
+// preserved; absolute cost/accuracy values shift with scale. Run with
+// `--scale=1 --rounds=200` for a paper-scale run.
+//
+// Every driver calls bench::init(argc, argv) first, which parses the uniform
+// flag set (the GROUPFEL_BENCH_* environment variables remain as fallback):
+//   --scale=F --rounds=N --seeds=N --budget=F --threads=N --out-dir=DIR
+//   --serial-cells
+// Seed loops and method loops execute as one sweep over the shared
+// ThreadPool via core::run_sweep (bit-identical to the historical serial
+// loops); --serial-cells restores serial cell execution for A/B timing.
 #pragma once
 
 #include <cstdlib>
 #include <filesystem>
+#include <functional>
 #include <iostream>
+#include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "core/experiment.hpp"
+#include "core/sweep.hpp"
 #include "util/ascii_plot.hpp"
 #include "util/csv.hpp"
+#include "util/flags.hpp"
 #include "util/format.hpp"
 
 namespace groupfel::bench {
 
-inline double bench_scale() {
-  if (const char* env = std::getenv("GROUPFEL_BENCH_SCALE"))
-    return std::atof(env);
-  return 0.33;
+/// Resolved run options shared by every figure driver. Environment defaults
+/// are read once; init()'s command-line flags override them.
+struct BenchOptions {
+  double scale = 0.33;
+  std::size_t rounds = 30;
+  std::size_t seeds = 3;
+  double budget = -1.0;  ///< < 0: derived from scale (see bench_budget)
+  std::string out_dir = "groupfel_results";
+  bool serial_cells = false;
+  std::unique_ptr<runtime::ThreadPool> owned_pool;  ///< set by --threads
+};
+
+inline BenchOptions& options() {
+  static BenchOptions opts = [] {
+    BenchOptions o;
+    if (const char* env = std::getenv("GROUPFEL_BENCH_SCALE"))
+      o.scale = std::atof(env);
+    if (const char* env = std::getenv("GROUPFEL_BENCH_ROUNDS"))
+      o.rounds = static_cast<std::size_t>(std::atoll(env));
+    if (const char* env = std::getenv("GROUPFEL_BENCH_SEEDS"))
+      o.seeds = static_cast<std::size_t>(std::atoll(env));
+    if (const char* env = std::getenv("GROUPFEL_BENCH_BUDGET"))
+      o.budget = std::atof(env);
+    if (const char* env = std::getenv("GROUPFEL_BENCH_OUT")) o.out_dir = env;
+    if (const char* env = std::getenv("GROUPFEL_BENCH_SERIAL"))
+      o.serial_cells = std::atoi(env) != 0;
+    return o;
+  }();
+  return opts;
 }
 
-inline std::size_t bench_rounds() {
-  if (const char* env = std::getenv("GROUPFEL_BENCH_ROUNDS"))
-    return static_cast<std::size_t>(std::atoll(env));
-  return 30;
+/// Parses the uniform driver flags into options() and returns the parsed
+/// Flags so drivers can read their own extras (e.g. fig9's --model).
+inline util::Flags init(int argc, char** argv) {
+  util::Flags flags(argc, argv);
+  BenchOptions& o = options();
+  o.scale = flags.get_double("scale", o.scale);
+  o.rounds = static_cast<std::size_t>(
+      flags.get_int("rounds", static_cast<std::int64_t>(o.rounds)));
+  o.seeds = static_cast<std::size_t>(
+      flags.get_int("seeds", static_cast<std::int64_t>(o.seeds)));
+  o.budget = flags.get_double("budget", o.budget);
+  o.out_dir = flags.get_string("out-dir", o.out_dir);
+  o.serial_cells = flags.get_bool("serial-cells", o.serial_cells);
+  const std::int64_t threads = flags.get_int("threads", -1);
+  if (threads >= 0)
+    o.owned_pool =
+        std::make_unique<runtime::ThreadPool>(static_cast<std::size_t>(threads));
+  return flags;
+}
+
+inline double bench_scale() { return options().scale; }
+inline std::size_t bench_rounds() { return options().rounds; }
+
+/// Seeds averaged per configuration (default 3). Single-seed FL curves at
+/// this scale carry ~±1.5% accuracy noise; the paper's method ordering is
+/// about means.
+inline std::size_t bench_seeds() { return options().seeds; }
+
+/// Pool driving both cell-level and trainer-internal parallelism; null
+/// means ThreadPool::global().
+inline runtime::ThreadPool* bench_pool() { return options().owned_pool.get(); }
+
+inline core::SweepOptions sweep_options() {
+  core::SweepOptions opts;
+  opts.pool = bench_pool();
+  opts.serial_cells = options().serial_cells;
+  return opts;
 }
 
 /// Output directory for CSVs (created on demand).
 inline std::string results_dir() {
-  const std::string dir = "groupfel_results";
-  std::filesystem::create_directories(dir);
-  return dir;
+  std::filesystem::create_directories(options().out_dir);
+  return options().out_dir;
 }
 
 /// The common Algorithm 1 hyperparameters used across figure benches
@@ -68,15 +138,6 @@ inline core::TrainResult run_method(const core::Experiment& exp,
       exp.topology, cfg,
       core::build_cost_model(task, core::cost_group_op(method)));
   return trainer.train(cost_budget);
-}
-
-/// Seeds averaged per configuration (GROUPFEL_BENCH_SEEDS, default 3).
-/// Single-seed FL curves at this scale carry ~±1.5% accuracy noise; the
-/// paper's method ordering is about means.
-inline std::size_t bench_seeds() {
-  if (const char* env = std::getenv("GROUPFEL_BENCH_SEEDS"))
-    return static_cast<std::size_t>(std::atoll(env));
-  return 3;
 }
 
 /// Pointwise average of per-seed training histories (same round grid).
@@ -113,25 +174,51 @@ inline core::TrainResult average_results(
   return avg;
 }
 
+/// Builds the per-seed cells of one configuration. The federation seed
+/// follows spec0.seed + 1000*s and the trainer seed is derived from it —
+/// the exact scheme of the historical serial loop, so sweeping the cells
+/// reproduces it bit for bit.
+template <typename Mutator>
+std::vector<core::SweepCell> seed_cells(const core::ExperimentSpec& spec0,
+                                        const core::GroupFelConfig& cfg0,
+                                        cost::Task task, cost::GroupOp op,
+                                        const std::string& label,
+                                        Mutator&& mutate) {
+  std::vector<core::SweepCell> cells(bench_seeds());
+  for (std::size_t s = 0; s < cells.size(); ++s) {
+    core::SweepCell& cell = cells[s];
+    cell.label = label + "/seed" + std::to_string(s);
+    cell.spec = spec0;
+    cell.spec.seed = spec0.seed + 1000 * s;
+    cell.config = cfg0;
+    cell.config.seed = cell.spec.seed ^ 0x5eed;
+    mutate(cell.config);
+    cell.task = task;
+    cell.op = op;
+  }
+  return cells;
+}
+
+/// Runs prebuilt cells through the shared scheduler (per-cell results in
+/// input order). Drivers with bespoke config grids use this directly.
+inline std::vector<core::SweepCellResult> run_cells(
+    const std::vector<core::SweepCell>& cells) {
+  return core::run_sweep(cells, sweep_options()).cells;
+}
+
 /// Runs an arbitrary configuration (mutator applies method/combo settings)
-/// across bench_seeds() freshly-built federations and averages the curves.
+/// across bench_seeds() freshly-built federations — concurrently, as one
+/// sweep — and averages the curves.
 template <typename Mutator>
 core::TrainResult run_config_seeds(const core::ExperimentSpec& spec0,
                                    const core::GroupFelConfig& cfg0,
                                    cost::Task task, cost::GroupOp op,
                                    Mutator&& mutate) {
+  const auto cells = seed_cells(spec0, cfg0, task, op, "cfg",
+                                std::forward<Mutator>(mutate));
   std::vector<core::TrainResult> results;
-  for (std::size_t s = 0; s < bench_seeds(); ++s) {
-    core::ExperimentSpec spec = spec0;
-    spec.seed = spec0.seed + 1000 * s;
-    const core::Experiment exp = core::build_experiment(spec);
-    core::GroupFelConfig cfg = cfg0;
-    cfg.seed = spec.seed ^ 0x5eed;
-    mutate(cfg);
-    core::GroupFelTrainer trainer(exp.topology, cfg,
-                                  core::build_cost_model(task, op));
-    results.push_back(trainer.train());
-  }
+  results.reserve(cells.size());
+  for (auto& cell : run_cells(cells)) results.push_back(std::move(cell.result));
   return average_results(results);
 }
 
@@ -143,6 +230,41 @@ inline core::TrainResult run_method_seeds(const core::ExperimentSpec& spec,
   return run_config_seeds(
       spec, cfg, task, core::cost_group_op(method),
       [method](core::GroupFelConfig& c) { core::apply_method(method, c); });
+}
+
+/// One sweep over every (method x seed) cell of a figure; returns the
+/// seed-averaged result per method, in `methods` order. Bit-identical to
+/// calling run_method_seeds per method, but all cells overlap on the pool.
+/// `tweak` applies per-method config adjustments (e.g. FedCLAR's cluster
+/// round) before the method preset.
+inline std::vector<core::TrainResult> run_methods(
+    const core::ExperimentSpec& spec0,
+    const std::vector<core::Method>& methods,
+    const core::GroupFelConfig& base, cost::Task task,
+    const std::function<void(core::Method, core::GroupFelConfig&)>& tweak =
+        {}) {
+  const std::size_t seeds = bench_seeds();
+  std::vector<core::SweepCell> cells;
+  cells.reserve(methods.size() * seeds);
+  for (const auto method : methods) {
+    core::GroupFelConfig cfg = base;
+    if (tweak) tweak(method, cfg);
+    auto method_cells = seed_cells(
+        spec0, cfg, task, core::cost_group_op(method),
+        core::to_string(method),
+        [method](core::GroupFelConfig& c) { core::apply_method(method, c); });
+    for (auto& cell : method_cells) cells.push_back(std::move(cell));
+  }
+  const auto results = run_cells(cells);
+  std::vector<core::TrainResult> out;
+  out.reserve(methods.size());
+  std::vector<core::TrainResult> per_seed(seeds);
+  for (std::size_t m = 0; m < methods.size(); ++m) {
+    for (std::size_t s = 0; s < seeds; ++s)
+      per_seed[s] = results[m * seeds + s].result;
+    out.push_back(average_results(per_seed));
+  }
+  return out;
 }
 
 /// Converts a history to an accuracy-vs-cost series.
@@ -168,11 +290,9 @@ inline double accuracy_at_cost(const core::TrainResult& result,
 }
 
 /// Shared budget for the cost-domain comparisons, scaled off the default
-/// bench scale (the paper uses 1e6 at full scale). Override with
-/// GROUPFEL_BENCH_BUDGET.
+/// bench scale (the paper uses 1e6 at full scale). Override with --budget.
 inline double bench_budget() {
-  if (const char* env = std::getenv("GROUPFEL_BENCH_BUDGET"))
-    return std::atof(env);
+  if (options().budget >= 0.0) return options().budget;
   return 4e5 * (bench_scale() / 0.33);
 }
 

@@ -8,7 +8,8 @@
 
 using namespace groupfel;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init(argc, argv);
   core::ExperimentSpec spec = core::default_cifar_spec(bench::bench_scale());
 
   struct Combo {
@@ -29,23 +30,35 @@ int main() {
        sampling::SamplingMethod::kESRCov},
   };
 
-  std::vector<util::Series> series;
-  std::vector<std::vector<std::string>> rows;
+  // Every combo x seed cell runs as ONE sweep over the shared pool.
+  const core::GroupFelConfig base = bench::base_config();
+  std::vector<core::SweepCell> cells;
   for (const auto& combo : combos) {
-    const core::GroupFelConfig base = bench::base_config();
-    const core::TrainResult result = bench::run_config_seeds(
-        spec, base, spec.task, cost::GroupOp::kSecAgg,
+    const auto combo_cells = bench::seed_cells(
+        spec, base, spec.task, cost::GroupOp::kSecAgg, combo.name,
         [&combo](core::GroupFelConfig& c) {
           c.grouping = combo.grouping;
           c.sampling = combo.sampling;
         });
-    series.push_back(bench::cost_series(combo.name, result));
-    rows.push_back({combo.name,
+    cells.insert(cells.end(), combo_cells.begin(), combo_cells.end());
+  }
+  const auto cell_results = bench::run_cells(cells);
+
+  std::vector<util::Series> series;
+  std::vector<std::vector<std::string>> rows;
+  const std::size_t seeds = bench::bench_seeds();
+  for (std::size_t i = 0; i < combos.size(); ++i) {
+    std::vector<core::TrainResult> per_seed;
+    for (std::size_t s = 0; s < seeds; ++s)
+      per_seed.push_back(cell_results[i * seeds + s].result);
+    const core::TrainResult result = bench::average_results(per_seed);
+    series.push_back(bench::cost_series(combos[i].name, result));
+    rows.push_back({combos[i].name,
                     util::fixed(bench::accuracy_at_cost(
                         result, bench::bench_budget()), 4),
                     util::fixed(result.best_accuracy, 4),
                     util::fixed(result.total_cost, 0)});
-    std::cout << combo.name << " done\n";
+    std::cout << combos[i].name << " done\n";
   }
 
   std::cout << util::ascii_table("Fig 12 summary",

@@ -14,7 +14,8 @@
 
 using namespace groupfel;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init(argc, argv);
   const cost::CostModel secagg =
       cost::default_cost_model(cost::Task::kCifar, cost::GroupOp::kSecAgg);
   const cost::CostModel backdoor = cost::default_cost_model(

@@ -11,7 +11,8 @@
 
 using namespace groupfel;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init(argc, argv);
   const core::ExperimentSpec spec = core::default_cifar_spec(bench::bench_scale());
   const core::Experiment exp = core::build_experiment(spec);
 

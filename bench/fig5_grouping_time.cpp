@@ -36,7 +36,8 @@ data::LabelMatrix make_matrix(std::size_t clients, std::uint64_t seed) {
 }
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init(argc, argv);
   const double scale = bench::bench_scale();
   std::vector<std::size_t> counts;
   for (std::size_t base : {200u, 400u, 600u, 800u, 1000u})

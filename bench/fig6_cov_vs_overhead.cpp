@@ -12,7 +12,8 @@
 
 using namespace groupfel;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init(argc, argv);
   // One edge server population, heavily skewed.
   core::ExperimentSpec spec = core::default_cifar_spec(bench::bench_scale());
   spec.num_edges = 1;

@@ -7,24 +7,39 @@
 
 using namespace groupfel;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init(argc, argv);
   core::ExperimentSpec spec = core::default_cifar_spec(bench::bench_scale());
 
-  std::vector<util::Series> series;
-  std::vector<std::vector<std::string>> rows;
-  for (const auto sampling :
-       {sampling::SamplingMethod::kRandom, sampling::SamplingMethod::kRCov,
-        sampling::SamplingMethod::kSRCov, sampling::SamplingMethod::kESRCov}) {
-    const core::GroupFelConfig base = bench::base_config();
-    const core::TrainResult result = bench::run_config_seeds(
+  const std::vector<sampling::SamplingMethod> methods{
+      sampling::SamplingMethod::kRandom, sampling::SamplingMethod::kRCov,
+      sampling::SamplingMethod::kSRCov, sampling::SamplingMethod::kESRCov};
+
+  // Every sampling-rule x seed cell runs as ONE sweep over the shared pool.
+  const core::GroupFelConfig base = bench::base_config();
+  std::vector<core::SweepCell> cells;
+  for (const auto sampling : methods) {
+    const auto rule_cells = bench::seed_cells(
         spec, base, spec.task, cost::GroupOp::kSecAgg,
-        [sampling](core::GroupFelConfig& c) {
+        sampling::to_string(sampling), [sampling](core::GroupFelConfig& c) {
           core::apply_method(core::Method::kGroupFel, c);
           c.sampling = sampling;
         });
+    cells.insert(cells.end(), rule_cells.begin(), rule_cells.end());
+  }
+  const auto cell_results = bench::run_cells(cells);
+
+  std::vector<util::Series> series;
+  std::vector<std::vector<std::string>> rows;
+  const std::size_t seeds = bench::bench_seeds();
+  for (std::size_t i = 0; i < methods.size(); ++i) {
+    std::vector<core::TrainResult> per_seed;
+    for (std::size_t s = 0; s < seeds; ++s)
+      per_seed.push_back(cell_results[i * seeds + s].result);
+    const core::TrainResult result = bench::average_results(per_seed);
     series.push_back(
-        bench::cost_series(sampling::to_string(sampling), result));
-    rows.push_back({sampling::to_string(sampling),
+        bench::cost_series(sampling::to_string(methods[i]), result));
+    rows.push_back({sampling::to_string(methods[i]),
                     util::fixed(bench::accuracy_at_cost(
                         result, bench::bench_budget()), 4),
                     util::fixed(result.best_accuracy, 4),

@@ -21,7 +21,8 @@ std::vector<cost::MeasurementPoint> measure_scaffold_secagg(
 }
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init(argc, argv);
   const std::vector<std::size_t> group_sizes{2, 4, 6, 8, 12, 16, 20};
   const std::vector<std::size_t> data_sizes{8, 16, 32, 64, 96, 128};
 

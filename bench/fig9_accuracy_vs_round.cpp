@@ -24,7 +24,7 @@ core::ModelKind parse_model(const std::string& name) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  util::Flags flags(argc, argv);
+  const util::Flags flags = bench::init(argc, argv);
   core::ExperimentSpec spec = core::default_cifar_spec(bench::bench_scale());
   spec.model = parse_model(flags.get_string("model", "mlp"));
   const core::GroupFelConfig base = bench::base_config();
@@ -35,19 +35,24 @@ int main(int argc, char** argv) {
       core::Method::kOuea,    core::Method::kShare,
       core::Method::kFedClar};
 
+  // All method x seed cells run as ONE sweep over the shared pool.
+  const std::vector<core::TrainResult> results = bench::run_methods(
+      spec, methods, base, spec.task,
+      [&base](core::Method method, core::GroupFelConfig& cfg) {
+        if (method == core::Method::kFedClar)
+          cfg.fedclar.cluster_round =
+              std::max<std::size_t>(2, base.global_rounds / 3);
+      });
+
   std::vector<util::Series> series;
   std::vector<std::vector<std::string>> rows;
-  for (const auto method : methods) {
-    core::GroupFelConfig cfg = base;
-    if (method == core::Method::kFedClar)
-      cfg.fedclar.cluster_round = std::max<std::size_t>(2, base.global_rounds / 3);
-    const core::TrainResult result =
-        bench::run_method_seeds(spec, method, cfg, spec.task);
-    series.push_back(bench::round_series(core::to_string(method), result));
-    rows.push_back({core::to_string(method),
+  for (std::size_t m = 0; m < methods.size(); ++m) {
+    const core::TrainResult& result = results[m];
+    series.push_back(bench::round_series(core::to_string(methods[m]), result));
+    rows.push_back({core::to_string(methods[m]),
                     util::fixed(result.final_accuracy, 4),
                     util::fixed(result.best_accuracy, 4)});
-    std::cout << core::to_string(method) << " done: final "
+    std::cout << core::to_string(methods[m]) << " done: final "
               << util::fixed(result.final_accuracy, 4) << "\n";
   }
 

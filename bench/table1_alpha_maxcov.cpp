@@ -8,7 +8,8 @@
 
 using namespace groupfel;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init(argc, argv);
   const double scale = bench::bench_scale();
   // Paper budget is 1e6 with 300 clients; scale the budget with the data.
   const double budget = 1e6 * scale * scale;

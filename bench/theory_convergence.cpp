@@ -49,7 +49,8 @@ double global_grad_norm_sq(const core::Experiment& exp,
 }
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init(argc, argv);
   core::ExperimentSpec spec = core::default_cifar_spec(bench::bench_scale());
   // One edge server: grouping quality scales with the pool an edge can
   // draw from, and this bench isolates the zeta_g effect, so give CoVG the

@@ -4,6 +4,21 @@
 
 namespace groupfel::algorithms {
 
+namespace {
+
+/// Per-thread minibatch scratch: the epoch permutation, the gathered batch,
+/// and the loss result (with its gradient tensor) persist across clients
+/// and rounds, so steady-state SGD steps perform zero tensor constructions.
+/// Thread-local because run_local_sgd runs concurrently for different
+/// clients on the trainer's pool.
+struct SgdScratch {
+  std::vector<std::size_t> order;
+  data::DataSet::Batch batch;
+  nn::LossResult loss;
+};
+
+}  // namespace
+
 double run_local_sgd(nn::Model& model, const data::ClientShard& shard,
                      const LocalTrainConfig& cfg, runtime::Rng& rng,
                      const nn::SgdOptimizer::GradAdjust& adjust) {
@@ -11,7 +26,11 @@ double run_local_sgd(nn::Model& model, const data::ClientShard& shard,
   nn::SgdOptimizer opt({.lr = cfg.lr,
                         .momentum = cfg.momentum,
                         .weight_decay = cfg.weight_decay});
-  std::vector<std::size_t> order(shard.size());
+  const bool reuse = cfg.reuse_batch_buffers;
+  thread_local SgdScratch scratch;
+  std::vector<std::size_t> order_storage;  // legacy path: fresh per call
+  std::vector<std::size_t>& order = reuse ? scratch.order : order_storage;
+  order.resize(shard.size());
   std::iota(order.begin(), order.end(), std::size_t{0});
 
   double loss_sum = 0.0;
@@ -20,18 +39,34 @@ double run_local_sgd(nn::Model& model, const data::ClientShard& shard,
   // update pass, so each batch touches every gradient tensor once, not twice.
   model.zero_grad();
   for (std::size_t epoch = 0; epoch < cfg.epochs; ++epoch) {
+    // The permutation buffer is reused; the shuffle itself is per-epoch and
+    // cumulative, consuming the RNG stream identically on both paths.
     rng.shuffle(order);
     for (std::size_t start = 0; start < order.size();
          start += cfg.batch_size) {
       const std::size_t end = std::min(order.size(), start + cfg.batch_size);
       const std::span<const std::size_t> batch_idx(order.data() + start,
                                                    end - start);
-      const data::DataSet::Batch batch = shard.batch(batch_idx);
-      const nn::Tensor logits = model.forward(batch.features, /*train=*/true);
-      const nn::LossResult lr = nn::softmax_cross_entropy(logits, batch.labels);
-      model.backward(lr.grad);
+      double step_loss;
+      if (reuse) {
+        shard.batch_into(batch_idx, scratch.batch);
+        const nn::Tensor& logits =
+            model.forward(scratch.batch.features, /*train=*/true);
+        nn::softmax_cross_entropy_into(logits, scratch.batch.labels,
+                                       scratch.loss);
+        model.backward(scratch.loss.grad);
+        step_loss = scratch.loss.loss;
+      } else {
+        const data::DataSet::Batch batch = shard.batch(batch_idx);
+        const nn::Tensor logits =
+            model.forward(batch.features, /*train=*/true);
+        const nn::LossResult lr =
+            nn::softmax_cross_entropy(logits, batch.labels);
+        model.backward(lr.grad);
+        step_loss = lr.loss;
+      }
       opt.step(model, adjust, /*zero_grads=*/true);
-      loss_sum += lr.loss;
+      loss_sum += step_loss;
       ++loss_batches;
     }
   }

@@ -22,6 +22,12 @@ struct LocalTrainConfig {
   float lr = 0.05f;
   float momentum = 0.0f;
   float weight_decay = 0.0f;
+  /// A/B toggle for the zero-alloc minibatch pipeline: when true (default)
+  /// run_local_sgd reuses per-thread batch/loss/permutation buffers via
+  /// batch_into + softmax_cross_entropy_into; when false it re-allocates a
+  /// fresh Batch and gradient per step (the legacy path benchmarked by
+  /// bench/sweep_throughput). Both paths are bit-identical.
+  bool reuse_batch_buffers = true;
 };
 
 class LocalUpdateRule {

@@ -1,5 +1,7 @@
 #include "algorithms/scaffold.hpp"
 
+#include <algorithm>
+
 namespace groupfel::algorithms {
 
 ScaffoldRule::ScaffoldRule(std::size_t num_clients)
@@ -48,26 +50,39 @@ double ScaffoldRule::train_client(nn::Model& model,
     ci_new[i] = ci_snapshot[i] - c_snapshot[i] +
                 (reference_params[i] - x_local[i]) * inv_step_lr;
 
+  // Stage this client's delta in a private slot (accumulating across the
+  // client's K group-round calls, which are sequential in time); the fold
+  // into c_ happens at round end in ascending client order so the
+  // floating-point sum does not depend on which thread finished first.
   {
     std::lock_guard lock(mu_);
-    if (pending_delta_.empty()) pending_delta_.assign(dim, 0.0f);
+    if (pending_.empty()) pending_.resize(num_clients_);
+    if (stage_mark_.empty()) stage_mark_.assign(num_clients_, 0);
+    if (stage_mark_[client_id] != round_epoch_) {
+      stage_mark_[client_id] = round_epoch_;
+      pending_[client_id].assign(dim, 0.0f);
+      pending_ids_.push_back(client_id);
+    }
     for (std::size_t i = 0; i < dim; ++i)
-      pending_delta_[i] += ci_new[i] - c_i_[client_id][i];
+      pending_[client_id][i] += ci_new[i] - c_i_[client_id][i];
     c_i_[client_id] = std::move(ci_new);
-    ++pending_count_;
   }
   return loss;
 }
 
 void ScaffoldRule::on_global_round_end() {
   std::lock_guard lock(mu_);
-  if (pending_delta_.empty() || pending_count_ == 0) return;
-  // c <- c + (participants / N) * mean(delta_ci)  ==  c + sum(delta)/N.
+  ++round_epoch_;
+  if (pending_ids_.empty()) return;
+  // c <- c + (participants / N) * mean(delta_ci)  ==  c + sum(delta)/N,
+  // summed in ascending client order (deterministic reduction).
+  std::sort(pending_ids_.begin(), pending_ids_.end());
+  if (c_.empty()) c_.assign(pending_[pending_ids_.front()].size(), 0.0f);
   const float inv_n = 1.0f / static_cast<float>(num_clients_);
-  for (std::size_t i = 0; i < c_.size(); ++i)
-    c_[i] += pending_delta_[i] * inv_n;
-  std::fill(pending_delta_.begin(), pending_delta_.end(), 0.0f);
-  pending_count_ = 0;
+  for (const std::size_t cid : pending_ids_)
+    for (std::size_t i = 0; i < c_.size(); ++i)
+      c_[i] += pending_[cid][i] * inv_n;
+  pending_ids_.clear();
 }
 
 }  // namespace groupfel::algorithms

@@ -9,6 +9,7 @@
 // communication_factor() and the SCAFFOLD-SecAgg cost curve of Fig. 8.
 #pragma once
 
+#include <cstdint>
 #include <mutex>
 #include <unordered_map>
 
@@ -42,8 +43,15 @@ class ScaffoldRule final : public LocalUpdateRule {
   std::size_t num_clients_;
   std::vector<float> c_;                     // server control variate
   std::vector<std::vector<float>> c_i_;      // per-client control variates
-  std::vector<float> pending_delta_;         // sum of c_i deltas this round
-  std::size_t pending_count_ = 0;
+  /// Per-client c_i deltas staged this round (accumulated across the K
+  /// group rounds a client trains in). Folding them into c_ in ascending
+  /// client order at round end keeps the floating-point sum independent of
+  /// the order concurrent clients finish — bit-identical for any pool size
+  /// and any cell scheduling.
+  std::vector<std::vector<float>> pending_;
+  std::vector<std::size_t> pending_ids_;
+  std::vector<std::uint64_t> stage_mark_;  // round epoch a slot was staged in
+  std::uint64_t round_epoch_ = 1;
   std::mutex mu_;
 };
 

@@ -12,16 +12,28 @@ struct BatchStat {
   double loss_sum = 0.0;
 };
 
+/// Per-thread eval scratch: index list, gathered batch, and loss result are
+/// reused across batches, chunks, and evaluate() calls, so steady-state
+/// evaluation performs zero tensor constructions.
+struct EvalScratch {
+  std::vector<std::size_t> idx;
+  data::DataSet::Batch batch;
+  nn::LossResult loss;
+};
+
 /// Forward + loss on one batch; pure w.r.t. the model parameters, so any
 /// replica with identical parameters produces the identical stat.
 BatchStat eval_batch(nn::Model& model, const data::DataSet& test,
                      std::size_t start, std::size_t end) {
-  std::vector<std::size_t> idx(end - start);
-  std::iota(idx.begin(), idx.end(), start);
-  const data::DataSet::Batch batch = test.gather(idx);
-  const nn::Tensor logits = model.forward(batch.features, /*train=*/false);
-  const nn::LossResult lr = nn::softmax_cross_entropy(logits, batch.labels);
-  return {lr.correct, lr.loss * static_cast<double>(end - start)};
+  thread_local EvalScratch scratch;
+  scratch.idx.resize(end - start);
+  std::iota(scratch.idx.begin(), scratch.idx.end(), start);
+  test.gather_into(scratch.idx, scratch.batch);
+  const nn::Tensor& logits =
+      model.forward(scratch.batch.features, /*train=*/false);
+  nn::softmax_cross_entropy_into(logits, scratch.batch.labels, scratch.loss);
+  return {scratch.loss.correct,
+          scratch.loss.loss * static_cast<double>(end - start)};
 }
 
 }  // namespace

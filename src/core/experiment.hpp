@@ -27,6 +27,11 @@ struct ExperimentSpec {
   ModelKind model = ModelKind::kMlp;
   std::size_t mlp_hidden = 64;
   std::uint64_t seed = 7;
+
+  /// Memberwise equality — core::run_sweep builds each distinct federation
+  /// once and shares it across the cells that use it.
+  friend bool operator==(const ExperimentSpec&,
+                         const ExperimentSpec&) = default;
 };
 
 struct Experiment {

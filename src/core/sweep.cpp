@@ -1,0 +1,47 @@
+#include "core/sweep.hpp"
+
+namespace groupfel::core {
+
+SweepRunResult run_sweep(const std::vector<SweepCell>& cells,
+                         const SweepOptions& opts) {
+  runtime::ThreadPool* pool =
+      opts.pool != nullptr ? opts.pool : &runtime::ThreadPool::global();
+
+  // Build each distinct federation once; cells referencing the same spec
+  // share the experiment (the DataSet inside is immutable and shared via
+  // shared_ptr, so concurrent trainers read it without copies).
+  std::vector<ExperimentSpec> specs;
+  std::vector<std::size_t> spec_of(cells.size());
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    std::size_t found = specs.size();
+    for (std::size_t s = 0; s < specs.size(); ++s)
+      if (specs[s] == cells[i].spec) {
+        found = s;
+        break;
+      }
+    if (found == specs.size()) specs.push_back(cells[i].spec);
+    spec_of[i] = found;
+  }
+  std::vector<Experiment> experiments;
+  experiments.reserve(specs.size());
+  for (const auto& spec : specs) experiments.push_back(build_experiment(spec));
+
+  SweepRunResult out;
+  out.cells.resize(cells.size());
+  out.distinct_experiments = specs.size();
+
+  runtime::SweepScheduler scheduler(opts.serial_cells ? nullptr : pool);
+  scheduler.run(cells.size(), [&](std::size_t i) {
+    const SweepCell& cell = cells[i];
+    GroupFelTrainer trainer(experiments[spec_of[i]].topology, cell.config,
+                            build_cost_model(cell.task, cell.op), pool);
+    out.cells[i].label = cell.label;
+    out.cells[i].result = trainer.train(cell.cost_budget);
+  });
+  for (std::size_t i = 0; i < cells.size(); ++i)
+    out.cells[i].seconds = scheduler.cell_seconds()[i];
+  out.total_seconds = scheduler.total_seconds();
+  return out;
+}
+
+}  // namespace groupfel::core

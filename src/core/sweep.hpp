@@ -1,0 +1,58 @@
+// core::run_sweep — whole-figure experiment execution on top of
+// runtime::SweepScheduler.
+//
+// A figure reproduction is a list of SweepCells (method x seed x config).
+// run_sweep dedups identical federation specs so concurrent cells share one
+// immutable DataSet, then runs every cell — concurrently over the shared
+// ThreadPool by default, or serially when opts.serial_cells is set (the A/B
+// reference). Each cell constructs its own GroupFelTrainer (private replica
+// cache, RNG streams derived from its config seed), so results are
+// bit-identical between the two modes and for any pool size.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "runtime/sweep_scheduler.hpp"
+
+namespace groupfel::core {
+
+/// One experiment cell: a federation spec plus a fully resolved trainer
+/// configuration. `label` tags the result (e.g. "fedavg/seed1").
+struct SweepCell {
+  std::string label;
+  ExperimentSpec spec;
+  GroupFelConfig config;
+  cost::Task task = cost::Task::kCifar;
+  cost::GroupOp op = cost::GroupOp::kSecAgg;
+  double cost_budget = 0.0;
+};
+
+struct SweepCellResult {
+  std::string label;
+  TrainResult result;
+  double seconds = 0.0;  ///< wall time of this cell
+};
+
+struct SweepRunResult {
+  std::vector<SweepCellResult> cells;  ///< same order as the input cells
+  double total_seconds = 0.0;          ///< wall time of the whole sweep
+  std::size_t distinct_experiments = 0;
+};
+
+struct SweepOptions {
+  /// Pool for both cell-level concurrency and each trainer's internal
+  /// parallel loops; null uses ThreadPool::global().
+  runtime::ThreadPool* pool = nullptr;
+  /// Run cells in a serial index-order loop instead of concurrently (the
+  /// trainers still use `pool` internally). Results are identical; this is
+  /// the reference mode bench/sweep_throughput compares against.
+  bool serial_cells = false;
+};
+
+/// Runs every cell and returns per-cell histories in input order.
+[[nodiscard]] SweepRunResult run_sweep(const std::vector<SweepCell>& cells,
+                                       const SweepOptions& opts = {});
+
+}  // namespace groupfel::core

@@ -27,19 +27,49 @@ std::vector<std::size_t> DataSet::sample_shape() const {
   return {features_.shape().begin() + 1, features_.shape().end()};
 }
 
+namespace {
+
+/// Shapes out's feature tensor as [n, <sample dims of features_like>] and
+/// its label vector as n entries, reusing out's storage. The common case —
+/// out already holds a batch of the same sample shape — only adjusts the
+/// leading dimension.
+void prepare_batch(const nn::Tensor& features_like, std::size_t n,
+                   DataSet::Batch& out) {
+  const auto& fshape = features_like.shape();
+  const auto& oshape = out.features.shape();
+  const bool tail_matches =
+      oshape.size() == fshape.size() &&
+      std::equal(oshape.begin() + 1, oshape.end(), fshape.begin() + 1);
+  if (tail_matches) {
+    out.features.resize_leading(n);
+  } else {
+    std::vector<std::size_t> shape = fshape;
+    shape[0] = n;
+    out.features.resize(shape);
+  }
+  out.labels.resize(n);
+}
+
+}  // namespace
+
 DataSet::Batch DataSet::gather(std::span<const std::size_t> indices) const {
+  Batch batch;
+  gather_into(indices, batch);
+  return batch;
+}
+
+void DataSet::gather_into(std::span<const std::size_t> indices,
+                          Batch& out) const {
   const std::size_t stride = sample_size();
-  std::vector<std::size_t> shape = features_.shape();
-  shape[0] = indices.size();
-  Batch batch{nn::Tensor(shape), std::vector<std::int32_t>(indices.size())};
+  prepare_batch(features_, indices.size(), out);
   for (std::size_t i = 0; i < indices.size(); ++i) {
     const std::size_t src = indices[i];
-    if (src >= size()) throw std::out_of_range("DataSet::gather: bad index");
+    if (src >= size())
+      throw std::out_of_range("DataSet::gather_into: bad index");
     std::copy_n(features_.raw() + src * stride, stride,
-                batch.features.raw() + i * stride);
-    batch.labels[i] = labels_[src];
+                out.features.raw() + i * stride);
+    out.labels[i] = labels_[src];
   }
-  return batch;
 }
 
 std::vector<std::vector<std::size_t>> DataSet::label_pools() const {
@@ -67,10 +97,23 @@ std::vector<std::size_t> ClientShard::label_counts() const {
 
 DataSet::Batch ClientShard::batch(
     std::span<const std::size_t> local_positions) const {
-  std::vector<std::size_t> global;
-  global.reserve(local_positions.size());
-  for (auto p : local_positions) global.push_back(indices_.at(p));
-  return dataset_->gather(global);
+  DataSet::Batch out;
+  batch_into(local_positions, out);
+  return out;
+}
+
+void ClientShard::batch_into(std::span<const std::size_t> local_positions,
+                             DataSet::Batch& out) const {
+  const DataSet& ds = *dataset_;
+  const std::size_t stride = ds.sample_size();
+  prepare_batch(ds.features(), local_positions.size(), out);
+  const auto labels = ds.labels();
+  for (std::size_t i = 0; i < local_positions.size(); ++i) {
+    const std::size_t src = indices_.at(local_positions[i]);
+    std::copy_n(ds.features().raw() + src * stride, stride,
+                out.features.raw() + i * stride);
+    out.labels[i] = labels[src];
+  }
 }
 
 }  // namespace groupfel::data

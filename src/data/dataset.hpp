@@ -44,6 +44,12 @@ class DataSet {
   };
   [[nodiscard]] Batch gather(std::span<const std::size_t> indices) const;
 
+  /// Allocation-free form of gather(): writes into a caller-owned Batch,
+  /// reusing its storage (capacity grows once, then steady-state calls
+  /// perform zero tensor constructions). Produces bit-identical contents
+  /// to gather().
+  void gather_into(std::span<const std::size_t> indices, Batch& out) const;
+
   /// Indices of all samples with each label: pools[label] -> sample indices.
   [[nodiscard]] std::vector<std::vector<std::size_t>> label_pools() const;
 
@@ -71,6 +77,12 @@ class ClientShard {
 
   /// Materializes a minibatch from local positions [begin, end).
   [[nodiscard]] DataSet::Batch batch(std::span<const std::size_t> local_positions) const;
+
+  /// Allocation-free form of batch(): maps local positions to global
+  /// indices inline (no scratch index vector) and writes into a
+  /// caller-owned Batch. Bit-identical contents to batch().
+  void batch_into(std::span<const std::size_t> local_positions,
+                  DataSet::Batch& out) const;
 
  private:
   std::shared_ptr<const DataSet> dataset_;

@@ -7,22 +7,22 @@ namespace groupfel::nn {
 
 // ---------------- Sigmoid ----------------
 
-Tensor Sigmoid::forward(const Tensor& input, bool train) {
-  Tensor out = input;
-  for (auto& v : out.data())
+const Tensor& Sigmoid::forward(const Tensor& input, bool train) {
+  out_buf_ = input;
+  for (auto& v : out_buf_.data())
     v = 1.0f / (1.0f + std::exp(-v));
-  if (train) cached_output_ = out;
-  return out;
+  if (train) cached_output_ = out_buf_;
+  return out_buf_;
 }
 
-Tensor Sigmoid::backward(const Tensor& grad_out) {
+const Tensor& Sigmoid::backward(const Tensor& grad_out) {
   if (cached_output_.size() != grad_out.size())
     throw std::logic_error("Sigmoid::backward without forward(train=true)");
-  Tensor grad_in = grad_out;
-  auto g = grad_in.data();
+  grad_in_ = grad_out;
+  auto g = grad_in_.data();
   const auto y = cached_output_.data();
   for (std::size_t i = 0; i < g.size(); ++i) g[i] *= y[i] * (1.0f - y[i]);
-  return grad_in;
+  return grad_in_;
 }
 
 std::unique_ptr<Layer> Sigmoid::clone() const {
@@ -31,21 +31,21 @@ std::unique_ptr<Layer> Sigmoid::clone() const {
 
 // ---------------- Tanh ----------------
 
-Tensor Tanh::forward(const Tensor& input, bool train) {
-  Tensor out = input;
-  for (auto& v : out.data()) v = std::tanh(v);
-  if (train) cached_output_ = out;
-  return out;
+const Tensor& Tanh::forward(const Tensor& input, bool train) {
+  out_buf_ = input;
+  for (auto& v : out_buf_.data()) v = std::tanh(v);
+  if (train) cached_output_ = out_buf_;
+  return out_buf_;
 }
 
-Tensor Tanh::backward(const Tensor& grad_out) {
+const Tensor& Tanh::backward(const Tensor& grad_out) {
   if (cached_output_.size() != grad_out.size())
     throw std::logic_error("Tanh::backward without forward(train=true)");
-  Tensor grad_in = grad_out;
-  auto g = grad_in.data();
+  grad_in_ = grad_out;
+  auto g = grad_in_.data();
   const auto y = cached_output_.data();
   for (std::size_t i = 0; i < g.size(); ++i) g[i] *= 1.0f - y[i] * y[i];
-  return grad_in;
+  return grad_in_;
 }
 
 std::unique_ptr<Layer> Tanh::clone() const { return std::make_unique<Tanh>(); }
@@ -64,32 +64,32 @@ void Dropout::init(runtime::Rng& rng) {
   mask_rng_ = runtime::Rng(seed_);
 }
 
-Tensor Dropout::forward(const Tensor& input, bool train) {
+const Tensor& Dropout::forward(const Tensor& input, bool train) {
   if (!train || p_ == 0.0f) {
     mask_.clear();
-    return input;
+    return input;  // pass-through: identity at inference
   }
-  Tensor out = input;
+  out_buf_ = input;
   mask_.resize(input.size());
   const float keep = 1.0f - p_;
   const float scale = 1.0f / keep;
-  auto data = out.data();
+  auto data = out_buf_.data();
   for (std::size_t i = 0; i < data.size(); ++i) {
     const bool kept = mask_rng_.next_double() < static_cast<double>(keep);
     mask_[i] = kept ? scale : 0.0f;
     data[i] *= mask_[i];
   }
-  return out;
+  return out_buf_;
 }
 
-Tensor Dropout::backward(const Tensor& grad_out) {
+const Tensor& Dropout::backward(const Tensor& grad_out) {
   if (mask_.empty()) return grad_out;  // eval-mode or p == 0 forward
   if (mask_.size() != grad_out.size())
     throw std::logic_error("Dropout::backward: mask/grad size mismatch");
-  Tensor grad_in = grad_out;
-  auto g = grad_in.data();
+  grad_in_ = grad_out;
+  auto g = grad_in_.data();
   for (std::size_t i = 0; i < g.size(); ++i) g[i] *= mask_[i];
-  return grad_in;
+  return grad_in_;
 }
 
 std::unique_ptr<Layer> Dropout::clone() const {
@@ -102,7 +102,7 @@ AvgPool2d::AvgPool2d(std::size_t window) : window_(window) {
   if (window_ == 0) throw std::invalid_argument("AvgPool2d: window == 0");
 }
 
-Tensor AvgPool2d::forward(const Tensor& input, bool train) {
+const Tensor& AvgPool2d::forward(const Tensor& input, bool train) {
   if (input.rank() != 4)
     throw std::invalid_argument("AvgPool2d: expected 4-D input");
   const std::size_t n = input.dim(0), c = input.dim(1), h = input.dim(2),
@@ -110,7 +110,8 @@ Tensor AvgPool2d::forward(const Tensor& input, bool train) {
   const std::size_t ho = h / window_, wo = w / window_;
   if (ho == 0 || wo == 0)
     throw std::invalid_argument("AvgPool2d: window larger than input");
-  Tensor out({n, c, ho, wo});
+  out_buf_.resize4(n, c, ho, wo);
+  Tensor& out = out_buf_;
   const float inv = 1.0f / static_cast<float>(window_ * window_);
   for (std::size_t ni = 0; ni < n; ++ni)
     for (std::size_t ci = 0; ci < c; ++ci)
@@ -126,10 +127,12 @@ Tensor AvgPool2d::forward(const Tensor& input, bool train) {
   return out;
 }
 
-Tensor AvgPool2d::backward(const Tensor& grad_out) {
+const Tensor& AvgPool2d::backward(const Tensor& grad_out) {
   if (cached_shape_.empty())
     throw std::logic_error("AvgPool2d::backward without forward(train=true)");
-  Tensor grad_in(cached_shape_);
+  grad_in_.resize(cached_shape_);
+  grad_in_.zero();  // window loop below accumulates
+  Tensor& grad_in = grad_in_;
   const std::size_t ho = grad_out.dim(2), wo = grad_out.dim(3);
   const float inv = 1.0f / static_cast<float>(window_ * window_);
   for (std::size_t ni = 0; ni < grad_out.dim(0); ++ni)
@@ -141,7 +144,7 @@ Tensor AvgPool2d::backward(const Tensor& grad_out) {
             for (std::size_t kx = 0; kx < window_; ++kx)
               grad_in.at4(ni, ci, oy * window_ + ky, ox * window_ + kx) += g;
         }
-  return grad_in;
+  return grad_in_;
 }
 
 std::unique_ptr<Layer> AvgPool2d::clone() const {

@@ -11,25 +11,27 @@ namespace groupfel::nn {
 /// Elementwise logistic sigmoid.
 class Sigmoid final : public Layer {
  public:
-  Tensor forward(const Tensor& input, bool train) override;
-  Tensor backward(const Tensor& grad_out) override;
+  const Tensor& forward(const Tensor& input, bool train) override;
+  const Tensor& backward(const Tensor& grad_out) override;
   [[nodiscard]] std::unique_ptr<Layer> clone() const override;
   [[nodiscard]] std::string name() const override { return "Sigmoid"; }
 
  private:
   Tensor cached_output_;
+  Tensor out_buf_, grad_in_;
 };
 
 /// Elementwise hyperbolic tangent.
 class Tanh final : public Layer {
  public:
-  Tensor forward(const Tensor& input, bool train) override;
-  Tensor backward(const Tensor& grad_out) override;
+  const Tensor& forward(const Tensor& input, bool train) override;
+  const Tensor& backward(const Tensor& grad_out) override;
   [[nodiscard]] std::unique_ptr<Layer> clone() const override;
   [[nodiscard]] std::string name() const override { return "Tanh"; }
 
  private:
   Tensor cached_output_;
+  Tensor out_buf_, grad_in_;
 };
 
 /// Inverted dropout: keeps each unit with probability 1-p during training
@@ -40,8 +42,8 @@ class Dropout final : public Layer {
  public:
   explicit Dropout(float p, std::uint64_t seed = 0xd20d0u);
 
-  Tensor forward(const Tensor& input, bool train) override;
-  Tensor backward(const Tensor& grad_out) override;
+  const Tensor& forward(const Tensor& input, bool train) override;
+  const Tensor& backward(const Tensor& grad_out) override;
   [[nodiscard]] std::unique_ptr<Layer> clone() const override;
   void init(runtime::Rng& rng) override;
   [[nodiscard]] std::string name() const override { return "Dropout"; }
@@ -53,6 +55,7 @@ class Dropout final : public Layer {
   std::uint64_t seed_;
   runtime::Rng mask_rng_;
   std::vector<float> mask_;
+  Tensor out_buf_, grad_in_;
 };
 
 /// Non-overlapping average pooling with a square window.
@@ -60,14 +63,15 @@ class AvgPool2d final : public Layer {
  public:
   explicit AvgPool2d(std::size_t window);
 
-  Tensor forward(const Tensor& input, bool train) override;
-  Tensor backward(const Tensor& grad_out) override;
+  const Tensor& forward(const Tensor& input, bool train) override;
+  const Tensor& backward(const Tensor& grad_out) override;
   [[nodiscard]] std::unique_ptr<Layer> clone() const override;
   [[nodiscard]] std::string name() const override { return "AvgPool2d"; }
 
  private:
   std::size_t window_;
   std::vector<std::size_t> cached_shape_;
+  Tensor out_buf_, grad_in_;
 };
 
 }  // namespace groupfel::nn

@@ -32,7 +32,7 @@ void Conv2d::init(runtime::Rng& rng) {
   bias_.zero();
 }
 
-Tensor Conv2d::forward(const Tensor& input, bool train) {
+const Tensor& Conv2d::forward(const Tensor& input, bool train) {
   GF_CHECK(input.rank() == 4 && input.dim(1) == cin_,
            "Conv2d::forward: expected [N, ", cin_, ", H, W], got ",
            input.shape_string());
@@ -43,7 +43,8 @@ Tensor Conv2d::forward(const Tensor& input, bool train) {
   const std::size_t ho = h + 2 * pad_ - k_ + 1;
   const std::size_t wo = w + 2 * pad_ - k_ + 1;
   const std::size_t how = ho * wo, ncols = n * how, kdim = cin_ * k_ * k_;
-  Tensor out({n, cout_, ho, wo});
+  out_buf_.resize4(n, cout_, ho, wo);
+  Tensor& out = out_buf_;
 
   // Lower to GEMM: out_mat[Cout, N·Ho·Wo] = W[Cout, Cin·k·k] · im2col(x).
   auto& arena = runtime::WorkspaceArena::local();
@@ -68,7 +69,7 @@ Tensor Conv2d::forward(const Tensor& input, bool train) {
   return out;
 }
 
-Tensor Conv2d::backward(const Tensor& grad_out) {
+const Tensor& Conv2d::backward(const Tensor& grad_out) {
   GF_CHECK(cached_input_.size() != 0,
            "Conv2d::backward without forward(train=true)");
   const Tensor& x = cached_input_;
@@ -107,23 +108,25 @@ Tensor Conv2d::backward(const Tensor& grad_out) {
   detail::gemm_acc(cout_, kdim, ncols, {dy.data(), ncols, 1},
                    {cols.data(), 1, ncols}, grad_w_.raw());
 
-  // dX = col2im(Wᵀ · dY).
+  // dX = col2im(Wᵀ · dY). col2im accumulates, so the reused buffer must be
+  // zeroed first (a fresh Tensor used to provide the zeros implicitly).
   auto gcols = arena.acquire(kdim * ncols);
   detail::gemm(kdim, ncols, cout_, {weight_.raw(), 1, kdim},
                {dy.data(), ncols, 1}, gcols.data());
-  Tensor grad_in({n, cin_, h, w});
-  detail::col2im(gcols.data(), n, cin_, h, w, k_, pad_, grad_in.raw());
-  return grad_in;
+  grad_in_.resize4(n, cin_, h, w);
+  grad_in_.zero();
+  detail::col2im(gcols.data(), n, cin_, h, w, k_, pad_, grad_in_.raw());
+  return grad_in_;
 }
 
 void Conv2d::for_each_param(
-    const std::function<void(Tensor&, Tensor&)>& fn) {
+    util::FunctionRef<void(Tensor&, Tensor&)> fn) {
   fn(weight_, grad_w_);
   fn(bias_, grad_b_);
 }
 
 void Conv2d::for_each_param(
-    const std::function<void(const Tensor&, const Tensor&)>& fn) const {
+    util::FunctionRef<void(const Tensor&, const Tensor&)> fn) const {
   fn(weight_, grad_w_);
   fn(bias_, grad_b_);
 }
@@ -239,7 +242,7 @@ MaxPool2d::MaxPool2d(std::size_t window) : window_(window) {
   GF_CHECK(window_ != 0, "MaxPool2d: window == 0");
 }
 
-Tensor MaxPool2d::forward(const Tensor& input, bool train) {
+const Tensor& MaxPool2d::forward(const Tensor& input, bool train) {
   GF_CHECK(input.rank() == 4, "MaxPool2d: expected 4-D input, got ",
            input.shape_string());
   const std::size_t n = input.dim(0), c = input.dim(1), h = input.dim(2),
@@ -247,7 +250,8 @@ Tensor MaxPool2d::forward(const Tensor& input, bool train) {
   const std::size_t ho = h / window_, wo = w / window_;
   GF_CHECK(ho != 0 && wo != 0, "MaxPool2d: window ", window_,
            " larger than input ", input.shape_string());
-  Tensor out({n, c, ho, wo});
+  out_buf_.resize4(n, c, ho, wo);
+  Tensor& out = out_buf_;
   if (train) {
     argmax_.assign(out.size(), 0);
     cached_shape_ = input.shape();
@@ -276,13 +280,14 @@ Tensor MaxPool2d::forward(const Tensor& input, bool train) {
   return out;
 }
 
-Tensor MaxPool2d::backward(const Tensor& grad_out) {
+const Tensor& MaxPool2d::backward(const Tensor& grad_out) {
   GF_CHECK_EQ(argmax_.size(), grad_out.size(),
               "MaxPool2d::backward without forward(train=true)");
-  Tensor grad_in(cached_shape_);
+  grad_in_.resize(cached_shape_);
+  grad_in_.zero();  // scatter-accumulate below needs a zeroed buffer
   for (std::size_t i = 0; i < grad_out.size(); ++i)
-    grad_in[argmax_[i]] += grad_out[i];
-  return grad_in;
+    grad_in_[argmax_[i]] += grad_out[i];
+  return grad_in_;
 }
 
 std::unique_ptr<Layer> MaxPool2d::clone() const {
@@ -291,12 +296,13 @@ std::unique_ptr<Layer> MaxPool2d::clone() const {
 
 // ---------------- GlobalAvgPool ----------------
 
-Tensor GlobalAvgPool::forward(const Tensor& input, bool train) {
+const Tensor& GlobalAvgPool::forward(const Tensor& input, bool train) {
   GF_CHECK(input.rank() == 4, "GlobalAvgPool: expected 4-D input, got ",
            input.shape_string());
   const std::size_t n = input.dim(0), c = input.dim(1),
                     hw = input.dim(2) * input.dim(3);
-  Tensor out({n, c});
+  out_buf_.resize2(n, c);
+  Tensor& out = out_buf_;
   for (std::size_t ni = 0; ni < n; ++ni)
     for (std::size_t ci = 0; ci < c; ++ci) {
       double acc = 0.0;
@@ -308,20 +314,20 @@ Tensor GlobalAvgPool::forward(const Tensor& input, bool train) {
   return out;
 }
 
-Tensor GlobalAvgPool::backward(const Tensor& grad_out) {
+const Tensor& GlobalAvgPool::backward(const Tensor& grad_out) {
   GF_CHECK(!cached_shape_.empty(),
            "GlobalAvgPool::backward without forward");
   const std::size_t n = cached_shape_[0], c = cached_shape_[1],
                     hw = cached_shape_[2] * cached_shape_[3];
-  Tensor grad_in(cached_shape_);
+  grad_in_.resize(cached_shape_);
   const float inv = 1.0f / static_cast<float>(hw);
   for (std::size_t ni = 0; ni < n; ++ni)
     for (std::size_t ci = 0; ci < c; ++ci) {
       const float g = grad_out.at2(ni, ci) * inv;
-      float* base = grad_in.raw() + (ni * c + ci) * hw;
+      float* base = grad_in_.raw() + (ni * c + ci) * hw;
       for (std::size_t i = 0; i < hw; ++i) base[i] = g;
     }
-  return grad_in;
+  return grad_in_;
 }
 
 std::unique_ptr<Layer> GlobalAvgPool::clone() const {

@@ -1,5 +1,6 @@
 #include "nn/gradcheck.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 namespace groupfel::nn {

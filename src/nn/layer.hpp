@@ -4,14 +4,20 @@
 // reverse-mode differentiation: forward() caches whatever backward() needs.
 // A layer instance therefore serves exactly one model replica; federated
 // clients clone the model instead of sharing layers.
+//
+// forward()/backward() return references into layer-owned persistent
+// buffers (or, for pass-through layers, the input itself). A returned
+// reference stays valid until the same layer's next forward()/backward()
+// call; repeated same-shape steps therefore perform zero tensor
+// constructions (see nn::tensor_construction_count()).
 #pragma once
 
-#include <functional>
 #include <memory>
 #include <string>
 
 #include "nn/tensor.hpp"
 #include "runtime/rng.hpp"
+#include "util/function_ref.hpp"
 
 namespace groupfel::nn {
 
@@ -19,25 +25,26 @@ class Layer {
  public:
   virtual ~Layer() = default;
 
-  /// Computes the layer output. `train` enables training-only behaviour
-  /// (activation caching for backward).
-  virtual Tensor forward(const Tensor& input, bool train) = 0;
+  /// Computes the layer output into a layer-owned buffer. `train` enables
+  /// training-only behaviour (activation caching for backward).
+  virtual const Tensor& forward(const Tensor& input, bool train) = 0;
 
   /// Given dL/d(output), accumulates parameter gradients and returns
-  /// dL/d(input). Must be called after a forward(train=true).
-  virtual Tensor backward(const Tensor& grad_out) = 0;
+  /// dL/d(input) in a layer-owned buffer. Must be called after a
+  /// forward(train=true).
+  virtual const Tensor& backward(const Tensor& grad_out) = 0;
 
   /// Visits every (parameter, gradient) tensor pair. Parameter-free layers
   /// keep the default no-op.
   virtual void for_each_param(
-      const std::function<void(Tensor& param, Tensor& grad)>& fn) {
+      util::FunctionRef<void(Tensor&, Tensor&)> fn) {
     (void)fn;
   }
 
   /// Read-only visit of every (parameter, gradient) tensor pair — lets
   /// const models export flat parameter/gradient views without const_cast.
   virtual void for_each_param(
-      const std::function<void(const Tensor& param, const Tensor& grad)>& fn)
+      util::FunctionRef<void(const Tensor&, const Tensor&)> fn)
       const {
     (void)fn;
   }
@@ -61,12 +68,11 @@ class Linear final : public Layer {
  public:
   Linear(std::size_t in_features, std::size_t out_features);
 
-  Tensor forward(const Tensor& input, bool train) override;
-  Tensor backward(const Tensor& grad_out) override;
+  const Tensor& forward(const Tensor& input, bool train) override;
+  const Tensor& backward(const Tensor& grad_out) override;
   void for_each_param(
-      const std::function<void(Tensor&, Tensor&)>& fn) override;
-  void for_each_param(const std::function<void(const Tensor&, const Tensor&)>&
-                          fn) const override;
+      util::FunctionRef<void(Tensor&, Tensor&)> fn) override;
+  void for_each_param(util::FunctionRef<void(const Tensor&, const Tensor&)> fn) const override;
   [[nodiscard]] std::size_t param_count() const override;
   [[nodiscard]] std::unique_ptr<Layer> clone() const override;
   void init(runtime::Rng& rng) override;
@@ -81,30 +87,33 @@ class Linear final : public Layer {
   Tensor bias_;     // [1, out]
   Tensor grad_w_, grad_b_;
   Tensor cached_input_;
+  Tensor out_buf_, grad_in_;
 };
 
 /// Elementwise max(x, 0).
 class ReLU final : public Layer {
  public:
-  Tensor forward(const Tensor& input, bool train) override;
-  Tensor backward(const Tensor& grad_out) override;
+  const Tensor& forward(const Tensor& input, bool train) override;
+  const Tensor& backward(const Tensor& grad_out) override;
   [[nodiscard]] std::unique_ptr<Layer> clone() const override;
   [[nodiscard]] std::string name() const override { return "ReLU"; }
 
  private:
   Tensor cached_input_;
+  Tensor out_buf_, grad_in_;
 };
 
 /// Collapses [N, C, H, W] (or any rank >= 2) to [N, rest].
 class Flatten final : public Layer {
  public:
-  Tensor forward(const Tensor& input, bool train) override;
-  Tensor backward(const Tensor& grad_out) override;
+  const Tensor& forward(const Tensor& input, bool train) override;
+  const Tensor& backward(const Tensor& grad_out) override;
   [[nodiscard]] std::unique_ptr<Layer> clone() const override;
   [[nodiscard]] std::string name() const override { return "Flatten"; }
 
  private:
   std::vector<std::size_t> cached_shape_;
+  Tensor out_buf_, grad_in_;
 };
 
 // ---- Convolutional layers (conv.cpp) ----
@@ -120,12 +129,11 @@ class Conv2d final : public Layer {
   Conv2d(std::size_t in_channels, std::size_t out_channels,
          std::size_t kernel, std::size_t padding);
 
-  Tensor forward(const Tensor& input, bool train) override;
-  Tensor backward(const Tensor& grad_out) override;
+  const Tensor& forward(const Tensor& input, bool train) override;
+  const Tensor& backward(const Tensor& grad_out) override;
   void for_each_param(
-      const std::function<void(Tensor&, Tensor&)>& fn) override;
-  void for_each_param(const std::function<void(const Tensor&, const Tensor&)>&
-                          fn) const override;
+      util::FunctionRef<void(Tensor&, Tensor&)> fn) override;
+  void for_each_param(util::FunctionRef<void(const Tensor&, const Tensor&)> fn) const override;
   [[nodiscard]] std::size_t param_count() const override;
   [[nodiscard]] std::unique_ptr<Layer> clone() const override;
   void init(runtime::Rng& rng) override;
@@ -137,6 +145,7 @@ class Conv2d final : public Layer {
   Tensor bias_;    // [1, Cout]
   Tensor grad_w_, grad_b_;
   Tensor cached_input_;
+  Tensor out_buf_, grad_in_;
 };
 
 // ---- Naive convolution oracles (conv.cpp) ----
@@ -165,8 +174,8 @@ class MaxPool2d final : public Layer {
  public:
   explicit MaxPool2d(std::size_t window);
 
-  Tensor forward(const Tensor& input, bool train) override;
-  Tensor backward(const Tensor& grad_out) override;
+  const Tensor& forward(const Tensor& input, bool train) override;
+  const Tensor& backward(const Tensor& grad_out) override;
   [[nodiscard]] std::unique_ptr<Layer> clone() const override;
   [[nodiscard]] std::string name() const override { return "MaxPool2d"; }
 
@@ -174,18 +183,20 @@ class MaxPool2d final : public Layer {
   std::size_t window_;
   std::vector<std::size_t> argmax_;
   std::vector<std::size_t> cached_shape_;
+  Tensor out_buf_, grad_in_;
 };
 
 /// Global average pooling [N, C, H, W] -> [N, C].
 class GlobalAvgPool final : public Layer {
  public:
-  Tensor forward(const Tensor& input, bool train) override;
-  Tensor backward(const Tensor& grad_out) override;
+  const Tensor& forward(const Tensor& input, bool train) override;
+  const Tensor& backward(const Tensor& grad_out) override;
   [[nodiscard]] std::unique_ptr<Layer> clone() const override;
   [[nodiscard]] std::string name() const override { return "GlobalAvgPool"; }
 
  private:
   std::vector<std::size_t> cached_shape_;
+  Tensor out_buf_, grad_in_;
 };
 
 }  // namespace groupfel::nn

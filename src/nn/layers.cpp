@@ -22,20 +22,20 @@ void Linear::init(runtime::Rng& rng) {
   bias_.zero();
 }
 
-Tensor Linear::forward(const Tensor& input, bool train) {
+const Tensor& Linear::forward(const Tensor& input, bool train) {
   GF_CHECK(input.rank() == 2 && input.dim(1) == in_,
            "Linear::forward: expected [N, ", in_, "], got ",
            input.shape_string());
   const std::size_t n = input.dim(0);
-  Tensor out({n, out_});
-  matmul(input, weight_, out);
+  out_buf_.resize2(n, out_);
+  matmul(input, weight_, out_buf_);
   for (std::size_t i = 0; i < n; ++i)
-    for (std::size_t j = 0; j < out_; ++j) out.at2(i, j) += bias_[j];
+    for (std::size_t j = 0; j < out_; ++j) out_buf_.at2(i, j) += bias_[j];
   if (train) cached_input_ = input;
-  return out;
+  return out_buf_;
 }
 
-Tensor Linear::backward(const Tensor& grad_out) {
+const Tensor& Linear::backward(const Tensor& grad_out) {
   const std::size_t n = grad_out.dim(0);
   GF_CHECK(cached_input_.size() != 0,
            "Linear::backward without forward(train=true)");
@@ -51,19 +51,19 @@ Tensor Linear::backward(const Tensor& grad_out) {
     const float* grow = go + i * out_;
     for (std::size_t j = 0; j < out_; ++j) gb[j] += grow[j];
   }
-  Tensor grad_in({n, in_});
-  matmul_bt(grad_out, weight_, grad_in);
-  return grad_in;
+  grad_in_.resize2(n, in_);
+  matmul_bt(grad_out, weight_, grad_in_);
+  return grad_in_;
 }
 
 void Linear::for_each_param(
-    const std::function<void(Tensor&, Tensor&)>& fn) {
+    util::FunctionRef<void(Tensor&, Tensor&)> fn) {
   fn(weight_, grad_w_);
   fn(bias_, grad_b_);
 }
 
 void Linear::for_each_param(
-    const std::function<void(const Tensor&, const Tensor&)>& fn) const {
+    util::FunctionRef<void(const Tensor&, const Tensor&)> fn) const {
   fn(weight_, grad_w_);
   fn(bias_, grad_b_);
 }
@@ -79,43 +79,43 @@ std::unique_ptr<Layer> Linear::clone() const {
 
 // ---------------- ReLU ----------------
 
-Tensor ReLU::forward(const Tensor& input, bool train) {
-  Tensor out = input;
-  for (auto& v : out.data()) v = v > 0.0f ? v : 0.0f;
+const Tensor& ReLU::forward(const Tensor& input, bool train) {
+  out_buf_ = input;
+  for (auto& v : out_buf_.data()) v = v > 0.0f ? v : 0.0f;
   if (train) cached_input_ = input;
-  return out;
+  return out_buf_;
 }
 
-Tensor ReLU::backward(const Tensor& grad_out) {
+const Tensor& ReLU::backward(const Tensor& grad_out) {
   GF_CHECK_EQ(cached_input_.size(), grad_out.size(),
               "ReLU::backward shape mismatch");
-  Tensor grad_in = grad_out;
+  grad_in_ = grad_out;
   const auto xs = cached_input_.data();
-  auto gs = grad_in.data();
+  auto gs = grad_in_.data();
   for (std::size_t i = 0; i < gs.size(); ++i)
     if (xs[i] <= 0.0f) gs[i] = 0.0f;
-  return grad_in;
+  return grad_in_;
 }
 
 std::unique_ptr<Layer> ReLU::clone() const { return std::make_unique<ReLU>(); }
 
 // ---------------- Flatten ----------------
 
-Tensor Flatten::forward(const Tensor& input, bool train) {
+const Tensor& Flatten::forward(const Tensor& input, bool train) {
   GF_CHECK(input.rank() >= 2, "Flatten: rank < 2, got ",
            input.shape_string());
   if (train) cached_shape_ = input.shape();
-  Tensor out = input;
-  out.reshape({input.dim(0), input.size() / input.dim(0)});
-  return out;
+  out_buf_ = input;
+  out_buf_.resize2(input.dim(0), input.size() / input.dim(0));
+  return out_buf_;
 }
 
-Tensor Flatten::backward(const Tensor& grad_out) {
+const Tensor& Flatten::backward(const Tensor& grad_out) {
   GF_CHECK(!cached_shape_.empty(),
            "Flatten::backward without forward(train=true)");
-  Tensor grad_in = grad_out;
-  grad_in.reshape(cached_shape_);
-  return grad_in;
+  grad_in_ = grad_out;
+  grad_in_.resize(cached_shape_);
+  return grad_in_;
 }
 
 std::unique_ptr<Layer> Flatten::clone() const {

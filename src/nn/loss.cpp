@@ -25,14 +25,23 @@ Tensor softmax(const Tensor& logits) {
 
 LossResult softmax_cross_entropy(const Tensor& logits,
                                  std::span<const std::int32_t> labels) {
+  LossResult res;
+  softmax_cross_entropy_into(logits, labels, res);
+  return res;
+}
+
+void softmax_cross_entropy_into(const Tensor& logits,
+                                std::span<const std::int32_t> labels,
+                                LossResult& res) {
   if (logits.rank() != 2)
     throw std::invalid_argument("softmax_cross_entropy: logits must be 2-D");
   const std::size_t n = logits.dim(0), c = logits.dim(1);
   if (labels.size() != n)
     throw std::invalid_argument("softmax_cross_entropy: label count mismatch");
 
-  LossResult res;
-  res.grad = Tensor({n, c});
+  res.loss = 0.0;
+  res.correct = 0;
+  res.grad.resize2(n, c);  // every element is overwritten below
   const float inv_n = 1.0f / static_cast<float>(n);
   double total = 0.0;
 
@@ -63,7 +72,6 @@ LossResult softmax_cross_entropy(const Tensor& logits,
     }
   }
   res.loss = total / static_cast<double>(n);
-  return res;
 }
 
 }  // namespace groupfel::nn

@@ -21,6 +21,13 @@ struct LossResult {
 [[nodiscard]] LossResult softmax_cross_entropy(
     const Tensor& logits, std::span<const std::int32_t> labels);
 
+/// Allocation-free form of softmax_cross_entropy(): overwrites `res`,
+/// resizing res.grad in place (zero tensor constructions once the gradient
+/// buffer has the right capacity). Bit-identical results.
+void softmax_cross_entropy_into(const Tensor& logits,
+                                std::span<const std::int32_t> labels,
+                                LossResult& res);
+
 /// Softmax probabilities (row-wise), for calibration/inspection.
 [[nodiscard]] Tensor softmax(const Tensor& logits);
 

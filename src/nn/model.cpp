@@ -17,16 +17,16 @@ void Model::init(runtime::Rng& rng) {
   for (auto& l : layers_) l->init(rng);
 }
 
-Tensor Model::forward(const Tensor& input, bool train) {
-  Tensor x = input;
-  for (auto& l : layers_) x = l->forward(x, train);
-  return x;
+const Tensor& Model::forward(const Tensor& input, bool train) {
+  const Tensor* x = &input;
+  for (auto& l : layers_) x = &l->forward(*x, train);
+  return *x;
 }
 
 void Model::backward(const Tensor& grad_out) {
-  Tensor g = grad_out;
+  const Tensor* g = &grad_out;
   for (auto it = layers_.rbegin(); it != layers_.rend(); ++it)
-    g = (*it)->backward(g);
+    g = &(*it)->backward(*g);
 }
 
 void Model::zero_grad() {
@@ -83,12 +83,12 @@ void Model::flat_gradients_into(std::span<float> out) const {
   });
 }
 
-void Model::for_each_param(const std::function<void(Tensor&, Tensor&)>& fn) {
+void Model::for_each_param(util::FunctionRef<void(Tensor&, Tensor&)> fn) {
   for (auto& l : layers_) l->for_each_param(fn);
 }
 
 void Model::for_each_param(
-    const std::function<void(const Tensor&, const Tensor&)>& fn) const {
+    util::FunctionRef<void(const Tensor&, const Tensor&)> fn) const {
   for (const auto& l : layers_) {
     const Layer& layer = *l;
     layer.for_each_param(fn);

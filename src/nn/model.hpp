@@ -28,8 +28,10 @@ class Model {
   /// He-initializes every layer from `rng` (deterministic given the seed).
   void init(runtime::Rng& rng);
 
-  /// Forward pass through all layers.
-  [[nodiscard]] Tensor forward(const Tensor& input, bool train = false);
+  /// Forward pass through all layers. Returns a reference into the last
+  /// layer's persistent output buffer (or `input` itself for an empty
+  /// model); it stays valid until this model's next forward()/backward().
+  [[nodiscard]] const Tensor& forward(const Tensor& input, bool train = false);
 
   /// Backward pass; call after forward(train=true). Accumulates gradients.
   void backward(const Tensor& grad_out);
@@ -59,11 +61,11 @@ class Model {
   void flat_gradients_into(std::span<float> out) const;
 
   /// Visits every (param, grad) pair across all layers.
-  void for_each_param(const std::function<void(Tensor&, Tensor&)>& fn);
+  void for_each_param(util::FunctionRef<void(Tensor&, Tensor&)> fn);
 
   /// Read-only visit of every (param, grad) pair across all layers.
   void for_each_param(
-      const std::function<void(const Tensor&, const Tensor&)>& fn) const;
+      util::FunctionRef<void(const Tensor&, const Tensor&)> fn) const;
 
   /// Deep copy (same parameters, fresh caches).
   [[nodiscard]] Model clone() const;

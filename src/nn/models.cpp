@@ -22,42 +22,42 @@ void ResidualBlock::init(runtime::Rng& rng) {
   if (proj_) proj_->init(rng);
 }
 
-Tensor ResidualBlock::forward(const Tensor& input, bool train) {
-  Tensor skip = proj_ ? proj_->forward(input, train) : input;
-  Tensor h = conv1_->forward(input, train);
-  h = relu_mid_->forward(h, train);
-  h = conv2_->forward(h, train);
-  h += skip;
-  if (train) {
-    cached_skip_ = skip;
-    cached_preact_ = h;
-  }
-  return relu_out_->forward(h, train);
+const Tensor& ResidualBlock::forward(const Tensor& input, bool train) {
+  // The skip reference stays valid through the conv chain: proj_'s output
+  // buffer is only rewritten by proj_'s own next forward.
+  const Tensor& skip = proj_ ? proj_->forward(input, train) : input;
+  const Tensor* h = &conv1_->forward(input, train);
+  h = &relu_mid_->forward(*h, train);
+  h = &conv2_->forward(*h, train);
+  preact_ = *h;
+  preact_ += skip;
+  return relu_out_->forward(preact_, train);
 }
 
-Tensor ResidualBlock::backward(const Tensor& grad_out) {
-  Tensor g = relu_out_->backward(grad_out);
-  // g flows both into the conv path and the skip path.
-  Tensor g_conv = conv2_->backward(g);
-  g_conv = relu_mid_->backward(g_conv);
-  Tensor grad_in = conv1_->backward(g_conv);
+const Tensor& ResidualBlock::backward(const Tensor& grad_out) {
+  const Tensor& g = relu_out_->backward(grad_out);
+  // g flows both into the conv path and the skip path; relu_out_'s buffer
+  // is untouched by the inner layers' backward calls.
+  const Tensor* g_conv = &conv2_->backward(g);
+  g_conv = &relu_mid_->backward(*g_conv);
+  grad_in_ = conv1_->backward(*g_conv);
   if (proj_) {
-    grad_in += proj_->backward(g);
+    grad_in_ += proj_->backward(g);
   } else {
-    grad_in += g;
+    grad_in_ += g;
   }
-  return grad_in;
+  return grad_in_;
 }
 
 void ResidualBlock::for_each_param(
-    const std::function<void(Tensor&, Tensor&)>& fn) {
+    util::FunctionRef<void(Tensor&, Tensor&)> fn) {
   conv1_->for_each_param(fn);
   conv2_->for_each_param(fn);
   if (proj_) proj_->for_each_param(fn);
 }
 
 void ResidualBlock::for_each_param(
-    const std::function<void(const Tensor&, const Tensor&)>& fn) const {
+    util::FunctionRef<void(const Tensor&, const Tensor&)> fn) const {
   const Conv2d& c1 = *conv1_;
   const Conv2d& c2 = *conv2_;
   c1.for_each_param(fn);

@@ -16,12 +16,11 @@ class ResidualBlock final : public Layer {
  public:
   ResidualBlock(std::size_t in_channels, std::size_t out_channels);
 
-  Tensor forward(const Tensor& input, bool train) override;
-  Tensor backward(const Tensor& grad_out) override;
+  const Tensor& forward(const Tensor& input, bool train) override;
+  const Tensor& backward(const Tensor& grad_out) override;
   void for_each_param(
-      const std::function<void(Tensor&, Tensor&)>& fn) override;
-  void for_each_param(const std::function<void(const Tensor&, const Tensor&)>&
-                          fn) const override;
+      util::FunctionRef<void(Tensor&, Tensor&)> fn) override;
+  void for_each_param(util::FunctionRef<void(const Tensor&, const Tensor&)> fn) const override;
   [[nodiscard]] std::size_t param_count() const override;
   [[nodiscard]] std::unique_ptr<Layer> clone() const override;
   void init(runtime::Rng& rng) override;
@@ -31,8 +30,8 @@ class ResidualBlock final : public Layer {
   ResidualBlock() = default;  // for clone()
   std::unique_ptr<Conv2d> conv1_, conv2_, proj_;  // proj_ may be null
   std::unique_ptr<ReLU> relu_mid_, relu_out_;
-  Tensor cached_skip_;     // projected (or raw) skip-path activation
-  Tensor cached_preact_;   // sum before the final ReLU
+  Tensor preact_;    // conv path + skip, before the final ReLU
+  Tensor grad_in_;   // accumulated dL/dx (conv path + skip path)
 };
 
 /// 3-residual-block ResNet for [N, channels, side, side] inputs.

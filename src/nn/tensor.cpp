@@ -1,6 +1,7 @@
 #include "nn/tensor.hpp"
 
 #include <algorithm>
+#include <atomic>
 
 #include <cmath>
 #include <numeric>
@@ -10,6 +11,14 @@
 
 namespace groupfel::nn {
 
+namespace {
+std::atomic<std::uint64_t> g_tensor_ctors{0};
+}  // namespace
+
+std::uint64_t tensor_construction_count() noexcept {
+  return g_tensor_ctors.load(std::memory_order_relaxed);
+}
+
 std::size_t shape_size(std::span<const std::size_t> shape) noexcept {
   std::size_t n = 1;
   for (auto d : shape) n *= d;
@@ -17,12 +26,20 @@ std::size_t shape_size(std::span<const std::size_t> shape) noexcept {
 }
 
 Tensor::Tensor(std::vector<std::size_t> shape)
-    : shape_(std::move(shape)), data_(shape_size(shape_), 0.0f) {}
+    : shape_(std::move(shape)), data_(shape_size(shape_), 0.0f) {
+  g_tensor_ctors.fetch_add(1, std::memory_order_relaxed);
+}
 
 Tensor::Tensor(std::vector<std::size_t> shape, std::vector<float> data)
     : shape_(std::move(shape)), data_(std::move(data)) {
   GF_CHECK_EQ(data_.size(), shape_size(shape_),
               "Tensor: data size does not match shape ", shape_string());
+  g_tensor_ctors.fetch_add(1, std::memory_order_relaxed);
+}
+
+Tensor::Tensor(const Tensor& other)
+    : shape_(other.shape_), data_(other.data_) {
+  g_tensor_ctors.fetch_add(1, std::memory_order_relaxed);
 }
 
 void Tensor::fill(float v) noexcept { std::fill(data_.begin(), data_.end(), v); }
@@ -31,6 +48,42 @@ void Tensor::reshape(std::vector<std::size_t> new_shape) {
   GF_CHECK_EQ(shape_size(new_shape), data_.size(),
               "Tensor::reshape from ", shape_string());
   shape_ = std::move(new_shape);
+}
+
+void Tensor::resize(const std::vector<std::size_t>& new_shape) {
+  if (shape_ == new_shape) return;
+  shape_ = new_shape;
+  data_.resize(shape_size(shape_));
+}
+
+void Tensor::resize_leading(std::size_t n) {
+  GF_CHECK(!shape_.empty(), "Tensor::resize_leading on rank-0 tensor");
+  if (shape_[0] == n) return;
+  const std::size_t stride =
+      shape_size({shape_.data() + 1, shape_.size() - 1});
+  shape_[0] = n;
+  data_.resize(n * stride);
+}
+
+void Tensor::resize2(std::size_t d0, std::size_t d1) {
+  if (shape_.size() == 2 && shape_[0] == d0 && shape_[1] == d1) return;
+  shape_.resize(2);
+  shape_[0] = d0;
+  shape_[1] = d1;
+  data_.resize(d0 * d1);
+}
+
+void Tensor::resize4(std::size_t d0, std::size_t d1, std::size_t d2,
+                     std::size_t d3) {
+  if (shape_.size() == 4 && shape_[0] == d0 && shape_[1] == d1 &&
+      shape_[2] == d2 && shape_[3] == d3)
+    return;
+  shape_.resize(4);
+  shape_[0] = d0;
+  shape_[1] = d1;
+  shape_[2] = d2;
+  shape_[3] = d3;
+  data_.resize(d0 * d1 * d2 * d3);
 }
 
 Tensor& Tensor::operator+=(const Tensor& other) {

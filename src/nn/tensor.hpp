@@ -6,11 +6,20 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <string>
 #include <vector>
 
 namespace groupfel::nn {
+
+/// Process-wide count of Tensor constructions that acquire fresh storage:
+/// the shape / shape+data constructors and the copy constructor. Default
+/// construction, moves, and assignment into an existing tensor (which reuse
+/// capacity) are not counted. Deltas around a steady-state region prove the
+/// "zero tensor constructions per SGD step" property of the minibatch
+/// pipeline (bench/sweep_throughput, tests/minibatch_pipeline_test.cpp).
+[[nodiscard]] std::uint64_t tensor_construction_count() noexcept;
 
 class Tensor {
  public:
@@ -21,6 +30,12 @@ class Tensor {
 
   /// Tensor wrapping existing data (copied); data.size() must match shape.
   Tensor(std::vector<std::size_t> shape, std::vector<float> data);
+
+  Tensor(const Tensor& other);
+  Tensor& operator=(const Tensor& other) = default;
+  Tensor(Tensor&& other) noexcept = default;
+  Tensor& operator=(Tensor&& other) noexcept = default;
+  ~Tensor() = default;
 
   [[nodiscard]] const std::vector<std::size_t>& shape() const noexcept {
     return shape_;
@@ -57,6 +72,23 @@ class Tensor {
 
   /// Reinterprets the buffer with a new shape of identical total size.
   void reshape(std::vector<std::size_t> new_shape);
+
+  /// Resizes to `new_shape`, reusing the existing allocation when capacity
+  /// suffices (std::vector keeps capacity on shrink/regrow). Element values
+  /// are unspecified afterwards — callers overwrite the full buffer. A no-op
+  /// when the shape already matches.
+  void resize(const std::vector<std::size_t>& new_shape);
+
+  /// Resizes only the leading dimension (e.g. the batch axis of an
+  /// [N, ...] activation) without touching the shape vector's allocation.
+  /// Requires rank() >= 1.
+  void resize_leading(std::size_t n);
+
+  /// Rank-specific resize forms that never materialize a temporary shape
+  /// vector — the layer hot paths call these once per step.
+  void resize2(std::size_t d0, std::size_t d1);
+  void resize4(std::size_t d0, std::size_t d1, std::size_t d2,
+               std::size_t d3);
 
   /// Elementwise helpers (throw on shape mismatch).
   Tensor& operator+=(const Tensor& other);

@@ -1,0 +1,46 @@
+// util::FunctionRef — a non-owning, non-allocating callable reference.
+//
+// std::function type-erases by (possibly) heap-allocating a copy of the
+// callable; passing capturing lambdas through it on a hot path (e.g. the
+// per-SGD-step parameter visitation in SgdOptimizer::step) costs one
+// allocation per call. FunctionRef erases through a raw context pointer +
+// call thunk instead: zero allocations, trivially copyable.
+//
+// Lifetime: FunctionRef does NOT own the callable. It is safe as a function
+// parameter invoked during the call (the use in this codebase); never store
+// one beyond the lifetime of the callable it was built from.
+#pragma once
+
+#include <memory>
+#include <type_traits>
+#include <utility>
+
+namespace groupfel::util {
+
+template <typename Signature>
+class FunctionRef;
+
+template <typename R, typename... Args>
+class FunctionRef<R(Args...)> {
+ public:
+  /// Binds any const-invocable callable (lambdas without `mutable`,
+  /// function objects, free functions). The invocability constraint keeps
+  /// overload sets on FunctionRef parameters unambiguous.
+  template <typename F>
+    requires(!std::is_same_v<std::remove_cvref_t<F>, FunctionRef> &&
+             std::is_invocable_r_v<R, const F&, Args...>)
+  FunctionRef(const F& f) noexcept  // NOLINT(google-explicit-constructor)
+      : obj_(std::addressof(f)), call_([](const void* obj, Args... args) -> R {
+          return (*static_cast<const F*>(obj))(std::forward<Args>(args)...);
+        }) {}
+
+  R operator()(Args... args) const {
+    return call_(obj_, std::forward<Args>(args)...);
+  }
+
+ private:
+  const void* obj_;
+  R (*call_)(const void*, Args...);
+};
+
+}  // namespace groupfel::util
