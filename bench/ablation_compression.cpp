@@ -42,14 +42,14 @@ CompressionRun run_compressed_fl(const core::Experiment& exp,
 
   for (std::size_t t = 0; t < rounds; ++t) {
     const auto chosen = rng.sample_without_replacement(
-        exp.topology.shards.size(), clients_per_round);
+        exp.topology.clients.num_clients(), clients_per_round);
     std::vector<std::vector<float>> updates;
     std::vector<double> weights;
     for (auto cid : chosen) {
       nn::Model local = global.clone();
       local.set_flat_parameters(params);
       runtime::Rng crng = rng.fork(t * 1000 + cid);
-      (void)rule.train_client(local, exp.topology.shards[cid], params, cid,
+      (void)rule.train_client(local, exp.topology.clients.client(cid), params, cid,
                               lcfg, crng);
       std::vector<float> delta = local.flat_parameters();
       for (std::size_t i = 0; i < delta.size(); ++i) delta[i] -= params[i];
@@ -58,7 +58,7 @@ CompressionRun run_compressed_fl(const core::Experiment& exp,
       const auto compressed = compression::compress(delta, cc);
       bytes += static_cast<double>(compressed.wire_bytes());
       updates.push_back(compression::decompress(compressed));
-      weights.push_back(static_cast<double>(exp.topology.shards[cid].size()));
+      weights.push_back(static_cast<double>(exp.topology.clients.data_count(cid)));
     }
     double wsum = 0.0;
     for (double w : weights) wsum += w;

@@ -39,7 +39,7 @@ int main(int argc, char** argv) {
     for (const auto& g : probe.groups()) {
       std::vector<double> counts;
       for (auto cid : g.clients)
-        counts.push_back(static_cast<double>(exp.topology.shards[cid].size()));
+        counts.push_back(static_cast<double>(exp.topology.clients.data_count(cid)));
       const double cov_sizes = util::coefficient_of_variation(counts);
       gamma_sum += 1.0 + cov_sizes * cov_sizes;
     }

@@ -33,7 +33,7 @@ double estimate_round_seconds(const core::Experiment& exp,
     auto& compute = computes[g];
     for (auto cid : groups[g].clients)
       compute.push_back(static_cast<double>(cfg.local_epochs) *
-                        cost_model.training_cost(exp.topology.shards[cid].size()));
+                        cost_model.training_cost(exp.topology.clients.data_count(cid)));
     net::GroupRoundTiming t;
     t.member_compute_s = compute;
     t.group_op_s = cost_model.group_op_cost(groups[g].clients.size());

@@ -21,6 +21,7 @@
 #include <iostream>
 #include <memory>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -62,6 +63,15 @@ inline BenchOptions& options() {
     return o;
   }();
   return opts;
+}
+
+/// Shared host-context JSON object for every BENCH_*.json writer, so each
+/// snapshot records the hardware it was produced on in one uniform place
+/// (results like concurrent-sweep speedups are only interpretable next to
+/// the core count — see the BENCH_sweep.json note).
+inline std::string hardware_context_json() {
+  return "{\"hardware_threads\": " +
+         std::to_string(std::thread::hardware_concurrency()) + "}";
 }
 
 /// Parses the uniform driver flags into options() and returns the parsed

@@ -19,7 +19,7 @@ int main(int argc, char** argv) {
   spec.num_edges = 1;
   const core::Experiment exp = core::build_experiment(spec);
   const data::LabelMatrix matrix =
-      data::LabelMatrix::from_shards(exp.topology.shards);
+      exp.topology.clients.label_matrix();
   const cost::CostModel cost_model =
       core::build_cost_model(spec.task, cost::GroupOp::kSecAgg);
 

@@ -1,0 +1,363 @@
+// Million-client scale benchmark — the tentpole gate for the O(bytes)
+// client-state engine. Builds descriptor-backed (kLazy) federations at
+// 1k / 10k / 100k / 1M clients and, per scale, measures
+//   - setup time (descriptor partition, no sample materialization),
+//   - grouping time (label matrix from population histograms + windowed
+//     CoV greedy per edge + streaming Eq. 34 probabilities),
+//   - one full Algorithm 1 global round (only sampled clients ever
+//     synthesize data) as rounds/s,
+//   - resident client-state bytes vs the naive projection of keeping every
+//     training sample in memory (sum_i n_i * sample_dim * 4 bytes), and
+//   - process peak RSS, gated: at >= 100k clients peak RSS must stay under
+//     10% of the naive resident projection.
+// Writes BENCH_scale.json and prints the group-size distribution as an
+// ASCII histogram.
+//
+//   ./scale_sim                        full run up to --max-clients
+//                                      (default 1000000; pass
+//                                      --max-clients=100000 for a CI-sized
+//                                      run — the 1M row takes minutes)
+//   ./scale_sim --smoke                lazy-vs-resident bit-identity gate
+//                                      for ctest: at 64 clients the
+//                                      kDescriptorResident and kLazy arms
+//                                      must produce bit-identical final
+//                                      parameters, no JSON
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#if defined(__linux__)
+#include <sys/resource.h>
+#endif
+
+#include "bench_common.hpp"
+#include "core/experiment.hpp"
+#include "core/trainer.hpp"
+#include "nn/tensor.hpp"
+#include "runtime/timer.hpp"
+#include "util/ascii_plot.hpp"
+#include "util/csv.hpp"
+
+using namespace groupfel;
+
+namespace {
+
+// ---- Process memory probes (Linux; 0 elsewhere, which skips the gate) ----
+
+std::size_t peak_rss_bytes() {
+#if defined(__linux__)
+  struct rusage ru {};
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return 0;
+  return static_cast<std::size_t>(ru.ru_maxrss) * 1024;  // ru_maxrss is KiB
+#else
+  return 0;
+#endif
+}
+
+std::size_t current_rss_bytes() {
+#if defined(__linux__)
+  std::ifstream status("/proc/self/status");
+  std::string key;
+  while (status >> key) {
+    if (key == "VmRSS:") {
+      std::size_t kib = 0;
+      status >> kib;
+      return kib * 1024;
+    }
+    status.ignore(1 << 12, '\n');
+  }
+#endif
+  return 0;
+}
+
+// ---- Scenario -------------------------------------------------------------
+
+/// Descriptor-mode spec for `clients` clients. Data sizes follow the
+/// paper's §7.2 distribution at full scale (mean 200 here so the naive
+/// resident projection is a realistic multi-GB figure at 100k+).
+core::ExperimentSpec scale_spec(std::size_t clients) {
+  core::ExperimentSpec spec;
+  spec.num_clients = clients;
+  // ~10k clients per edge keeps the per-edge windowed greedy tractable and
+  // mirrors a metro-area edge deployment.
+  spec.num_edges = std::max<std::size_t>(2, clients / 10000);
+  spec.size_mean = 200.0;
+  spec.size_std = 80.0;
+  spec.size_min = 50;
+  spec.size_max = 400;
+  spec.test_size = 512;
+  spec.mlp_hidden = 32;
+  spec.seed = 7;
+  spec.client_state = core::ClientStateMode::kLazy;
+  return spec;
+}
+
+/// One-global-round Algorithm 1 config: CoV grouping (windowed) + streaming
+/// ESRCoV sampling — the paper's default method at fleet scale. Group size
+/// ~100 (MinGS) so 100k clients form ~1k groups.
+core::GroupFelConfig scale_config() {
+  core::GroupFelConfig cfg;
+  cfg.global_rounds = 1;
+  cfg.group_rounds = 1;
+  cfg.local_epochs = 1;
+  cfg.sampled_groups = 16;
+  cfg.local.batch_size = 32;
+  cfg.local.lr = 0.1f;
+  cfg.grouping = grouping::GroupingMethod::kCov;
+  cfg.grouping_params.min_group_size = 100;
+  cfg.grouping_params.greedy_window = 256;
+  cfg.sampling = sampling::SamplingMethod::kESRCov;
+  cfg.eval_every = 1;
+  cfg.seed = 42;
+  return cfg;
+}
+
+struct ScaleRow {
+  std::size_t clients = 0;
+  std::size_t edges = 0;
+  std::size_t groups = 0;
+  double setup_seconds = 0.0;
+  double grouping_seconds = 0.0;
+  double rounds_per_sec = 0.0;
+  std::size_t resident_state_bytes = 0;
+  std::size_t naive_resident_bytes = 0;
+  std::size_t rss_after_setup_bytes = 0;
+  std::size_t peak_rss_bytes = 0;
+  double peak_rss_fraction_of_naive = 0.0;
+  double final_accuracy = 0.0;
+};
+
+/// Projection of the FedML-style resident layout this engine replaces:
+/// every client's feature tensor held in memory for the whole run.
+std::size_t naive_resident_projection(const data::ClientDataStore& store,
+                                      std::size_t sample_floats) {
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < store.num_clients(); ++c)
+    total += store.data_count(c) * sample_floats * sizeof(float);
+  return total;
+}
+
+void print_group_size_histogram(std::span<const core::FormedGroup> groups) {
+  const std::vector<std::size_t> hist = core::group_size_histogram(groups);
+  // Compact to nonzero sizes; bin into ranges if the support is wide.
+  std::vector<std::pair<std::size_t, std::size_t>> nonzero;
+  for (std::size_t s = 0; s < hist.size(); ++s)
+    if (hist[s] > 0) nonzero.emplace_back(s, hist[s]);
+  std::vector<std::string> labels;
+  std::vector<std::size_t> counts;
+  constexpr std::size_t kMaxRows = 16;
+  if (nonzero.size() <= kMaxRows) {
+    for (const auto& [size, count] : nonzero) {
+      labels.push_back("size " + std::to_string(size));
+      counts.push_back(count);
+    }
+  } else {
+    const std::size_t lo = nonzero.front().first, hi = nonzero.back().first;
+    const std::size_t bin = (hi - lo) / kMaxRows + 1;
+    labels.assign(kMaxRows, {});
+    counts.assign(kMaxRows, 0);
+    for (const auto& [size, count] : nonzero) {
+      const std::size_t b = std::min(kMaxRows - 1, (size - lo) / bin);
+      counts[b] += count;
+    }
+    for (std::size_t b = 0; b < kMaxRows; ++b)
+      labels[b] = "size " + std::to_string(lo + b * bin) + "-" +
+                  std::to_string(lo + (b + 1) * bin - 1);
+  }
+  std::cout << util::ascii_histogram("group-size distribution", labels, counts);
+}
+
+int fail(const std::string& msg) {
+  std::cerr << "scale_sim: FAIL: " << msg << "\n";
+  return 1;
+}
+
+// ---- Smoke gate: lazy vs descriptor-resident bit-identity ---------------
+
+bool bit_identical(const std::vector<float>& a, const std::vector<float>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    if (a[i] != b[i]) return false;
+  return true;
+}
+
+int run_smoke() {
+  core::ExperimentSpec spec = scale_spec(64);
+  spec.num_edges = 2;
+  spec.size_mean = 40;
+  spec.size_std = 10;
+  spec.size_min = 16;
+  spec.size_max = 64;
+  spec.test_size = 200;
+
+  core::GroupFelConfig cfg = scale_config();
+  cfg.global_rounds = 2;
+  cfg.group_rounds = 2;
+  cfg.sampled_groups = 3;
+  cfg.local.batch_size = 8;
+  cfg.grouping_params.min_group_size = 5;
+  cfg.grouping_params.greedy_window = 0;  // classic Algorithm 2
+
+  spec.client_state = core::ClientStateMode::kDescriptorResident;
+  const core::Experiment res_exp = core::build_experiment(spec);
+  spec.client_state = core::ClientStateMode::kLazy;
+  const core::Experiment lazy_exp = core::build_experiment(spec);
+
+  if (res_exp.train_set == nullptr)
+    return fail("descriptor-resident arm has no materialized train set");
+  if (lazy_exp.train_set != nullptr)
+    return fail("lazy arm materialized a train set");
+
+  const std::size_t res_bytes = res_exp.topology.clients.resident_bytes();
+  const std::size_t lazy_bytes = lazy_exp.topology.clients.resident_bytes();
+  if (lazy_bytes * 10 >= res_bytes)
+    return fail("lazy client state (" + std::to_string(lazy_bytes) +
+                " B) is not <10% of resident (" + std::to_string(res_bytes) +
+                " B)");
+
+  const auto model = core::build_cost_model(cost::Task::kCifar,
+                                            cost::GroupOp::kSecAgg);
+  core::GroupFelTrainer res_trainer(res_exp.topology, cfg, model);
+  core::GroupFelTrainer lazy_trainer(lazy_exp.topology, cfg, model);
+  const core::TrainResult res = res_trainer.train();
+  const core::TrainResult lazy = lazy_trainer.train();
+
+  if (!bit_identical(res.final_params, lazy.final_params))
+    return fail("lazy and descriptor-resident training diverged "
+                "(final_params)");
+  if (res.final_accuracy != lazy.final_accuracy)
+    return fail("lazy and descriptor-resident accuracies diverged");
+
+  std::cout << "scale_sim --smoke: 64 clients, lazy vs resident "
+               "bit-identical (acc "
+            << util::format_double(res.final_accuracy) << "), lazy state "
+            << lazy_bytes << " B vs resident " << res_bytes << " B\n";
+  return 0;
+}
+
+// ---- Full run -------------------------------------------------------------
+
+ScaleRow run_scale(std::size_t clients) {
+  ScaleRow row;
+  row.clients = clients;
+
+  const core::ExperimentSpec spec = scale_spec(clients);
+  runtime::Timer setup_t;
+  const core::Experiment exp = core::build_experiment(spec);
+  row.setup_seconds = setup_t.seconds();
+  row.edges = exp.topology.edges.size();
+  row.rss_after_setup_bytes = current_rss_bytes();
+  row.resident_state_bytes = exp.topology.clients.resident_bytes();
+  row.naive_resident_bytes = naive_resident_projection(
+      exp.topology.clients, nn::shape_size(exp.data_spec.sample_shape));
+
+  const core::GroupFelConfig cfg = scale_config();
+  // Trainer construction runs the whole grouping pipeline: label matrix
+  // from descriptor histograms, per-edge windowed CoV greedy, streaming
+  // Eq. 34 probabilities.
+  runtime::Timer group_t;
+  core::GroupFelTrainer trainer(
+      exp.topology, cfg,
+      core::build_cost_model(cost::Task::kCifar, cost::GroupOp::kSecAgg));
+  row.grouping_seconds = group_t.seconds();
+  row.groups = trainer.groups().size();
+
+  runtime::Timer round_t;
+  const core::TrainResult result = trainer.train();
+  row.rounds_per_sec =
+      static_cast<double>(cfg.global_rounds) / round_t.seconds();
+  row.final_accuracy = result.final_accuracy;
+  row.peak_rss_bytes = peak_rss_bytes();
+  if (row.naive_resident_bytes > 0)
+    row.peak_rss_fraction_of_naive =
+        static_cast<double>(row.peak_rss_bytes) /
+        static_cast<double>(row.naive_resident_bytes);
+
+  std::cout << "scale_sim: " << clients << " clients / " << row.edges
+            << " edges -> " << row.groups << " groups\n"
+            << "  setup " << util::format_double(row.setup_seconds)
+            << " s, grouping " << util::format_double(row.grouping_seconds)
+            << " s, " << util::format_double(row.rounds_per_sec)
+            << " rounds/s (acc " << util::format_double(row.final_accuracy)
+            << ")\n"
+            << "  client state " << row.resident_state_bytes
+            << " B resident vs naive projection " << row.naive_resident_bytes
+            << " B; peak RSS " << row.peak_rss_bytes << " B ("
+            << util::format_double(100.0 * row.peak_rss_fraction_of_naive)
+            << "% of naive)\n";
+  print_group_size_histogram(trainer.groups());
+  return row;
+}
+
+void write_json(const std::vector<ScaleRow>& rows) {
+  const std::string path = "BENCH_scale.json";
+  std::ofstream out(path);
+  out << "{\n  \"schema\": \"groupfel-scale-bench-v1\",\n"
+      << "  \"context\": " << bench::hardware_context_json() << ",\n"
+      << "  \"scenario\": {\"model\": \"mlp-h32\", \"grouping\": "
+         "\"CoVG window=256 MinGS=100\", \"sampling\": \"ESRCoV\", "
+         "\"global_rounds\": 1, \"group_rounds\": 1, \"local_epochs\": 1, "
+         "\"sampled_groups\": 16},\n"
+      << "  \"rows\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const ScaleRow& r = rows[i];
+    out << "    {\"clients\": " << r.clients << ", \"edges\": " << r.edges
+        << ", \"groups\": " << r.groups
+        << ", \"setup_seconds\": " << util::format_double(r.setup_seconds)
+        << ", \"grouping_seconds\": "
+        << util::format_double(r.grouping_seconds)
+        << ", \"rounds_per_sec\": " << util::format_double(r.rounds_per_sec)
+        << ", \"resident_state_bytes\": " << r.resident_state_bytes
+        << ", \"naive_resident_bytes\": " << r.naive_resident_bytes
+        << ", \"rss_after_setup_bytes\": " << r.rss_after_setup_bytes
+        << ", \"peak_rss_bytes\": " << r.peak_rss_bytes
+        << ", \"peak_rss_fraction_of_naive\": "
+        << util::format_double(r.peak_rss_fraction_of_naive)
+        << ", \"final_accuracy\": " << util::format_double(r.final_accuracy)
+        << "}" << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n"
+      << "  \"note\": \"kLazy client state: resident bytes are the "
+         "descriptor table (label histogram + size + seed per client) plus "
+         "class prototypes; naive_resident_bytes projects the conventional "
+         "layout holding every client's feature tensor in memory. "
+         "peak_rss_bytes is process-wide and cumulative across rows (rows "
+         "run in ascending order). Gate: at >= 100k clients peak RSS must "
+         "be < 10% of the naive projection.\"\n"
+      << "}\n";
+  std::cout << "wrote " << path << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Flags flags(argc, argv);
+  if (flags.get_bool("smoke", false)) return run_smoke();
+
+  const std::size_t max_clients = static_cast<std::size_t>(
+      flags.get_int("max-clients", 1000000));
+  const std::size_t scales[] = {1000, 10000, 100000, 1000000};
+
+  std::vector<ScaleRow> rows;
+  for (std::size_t clients : scales) {
+    if (clients > max_clients) continue;
+    rows.push_back(run_scale(clients));
+  }
+  if (rows.empty()) return fail("--max-clients excludes every scale");
+
+  // Acceptance gate: the descriptor engine must hold a 100k-client (and
+  // larger) federation in well under a tenth of the naive resident memory.
+  for (const ScaleRow& r : rows) {
+    if (r.clients < 100000 || r.peak_rss_bytes == 0) continue;
+    if (r.peak_rss_fraction_of_naive >= 0.10)
+      return fail("peak RSS at " + std::to_string(r.clients) +
+                  " clients is " +
+                  std::to_string(100.0 * r.peak_rss_fraction_of_naive) +
+                  "% of the naive resident projection (gate: < 10%)");
+  }
+
+  write_json(rows);
+  return 0;
+}

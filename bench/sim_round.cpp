@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_common.hpp"
 #include "core/experiment.hpp"
 #include "core/trainer.hpp"
 #include "runtime/thread_pool.hpp"
@@ -134,6 +135,7 @@ void write_json(const ModeResult& legacy, const ModeResult& opt,
   const std::string path = "BENCH_sim.json";
   std::ofstream out(path);
   out << "{\n  \"schema\": \"groupfel-sim-bench-v1\",\n"
+      << "  \"context\": " << bench::hardware_context_json() << ",\n"
       << "  \"scenario\": {\"clients\": " << clients
       << ", \"groups\": " << groups << ", \"global_rounds\": " << rounds
       << ", \"group_rounds\": 5, \"local_epochs\": 2, \"model\": \"mlp-h64\""

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "algorithms/local_trainer.hpp"
+#include "bench_common.hpp"
 #include "core/experiment.hpp"
 #include "core/sweep.hpp"
 #include "nn/tensor.hpp"
@@ -233,7 +234,7 @@ std::size_t steps_per_call(const data::ClientShard& shard,
 }
 
 SgdStats sgd_ab(const core::Experiment& exp, std::size_t reps) {
-  const data::ClientShard& shard = exp.topology.shards.front();
+  const data::ClientShard& shard = exp.topology.clients.shards().front();
   algorithms::LocalTrainConfig cfg;
   cfg.epochs = 2;
   cfg.batch_size = 8;
@@ -295,8 +296,8 @@ void write_json(double legacy_s, double serial_s, double sched_s,
   const std::string path = "BENCH_sweep.json";
   std::ofstream out(path);
   out << "{\n  \"schema\": \"groupfel-sweep-bench-v1\",\n"
+      << "  \"context\": " << bench::hardware_context_json() << ",\n"
       << "  \"sweep\": {\"cells\": " << cells << ", \"threads\": " << threads
-      << ", \"hardware_threads\": " << std::thread::hardware_concurrency()
       << ", \"clients\": " << clients
       << ", \"legacy_loop_seconds\": " << util::format_double(legacy_s)
       << ", \"serial_seconds\": " << util::format_double(serial_s)

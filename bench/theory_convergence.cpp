@@ -27,10 +27,10 @@ double global_grad_norm_sq(const core::Experiment& exp,
 
   // Pool every client's data: f(x) = sum_i (n_i/n) f_i(x) evaluated exactly.
   std::vector<std::size_t> all;
-  for (const auto& shard : exp.topology.shards)
+  for (const auto& shard : exp.topology.clients.shards())
     for (auto idx : shard.indices()) all.push_back(idx);
 
-  const auto& dataset = exp.topology.shards.front().dataset();
+  const auto& dataset = exp.topology.clients.shards().front().dataset();
   const std::size_t batch = 512;
   const double inv_total = 1.0 / static_cast<double>(all.size());
   for (std::size_t start = 0; start < all.size(); start += batch) {

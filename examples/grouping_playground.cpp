@@ -24,7 +24,7 @@ int main(int argc, char** argv) {
   spec.alpha = flags.get_double("alpha", 0.1);
   const core::Experiment exp = core::build_experiment(spec);
   const data::LabelMatrix matrix =
-      data::LabelMatrix::from_shards(exp.topology.shards);
+      exp.topology.clients.label_matrix();
 
   grouping::GroupingParams params;
   params.min_group_size =

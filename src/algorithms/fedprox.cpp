@@ -2,8 +2,7 @@
 
 namespace groupfel::algorithms {
 
-double FedProxRule::train_client(nn::Model& model,
-                                 const data::ClientShard& shard,
+double FedProxRule::train_client(nn::Model& model, data::ClientDataRef data,
                                  std::span<const float> reference_params,
                                  std::size_t /*client_id*/,
                                  const LocalTrainConfig& cfg,
@@ -15,7 +14,7 @@ double FedProxRule::train_client(nn::Model& model,
     for (std::size_t i = 0; i < grad.size(); ++i)
       grad[i] += mu * (param[i] - reference_params[offset + i]);
   };
-  return run_local_sgd(model, shard, cfg, rng, adjust);
+  return run_local_sgd(model, data, cfg, rng, adjust);
 }
 
 }  // namespace groupfel::algorithms

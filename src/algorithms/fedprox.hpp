@@ -15,7 +15,7 @@ class FedProxRule final : public LocalUpdateRule {
 
   [[nodiscard]] std::string name() const override { return "FedProx"; }
 
-  double train_client(nn::Model& model, const data::ClientShard& shard,
+  double train_client(nn::Model& model, data::ClientDataRef data,
                       std::span<const float> reference_params,
                       std::size_t client_id, const LocalTrainConfig& cfg,
                       runtime::Rng& rng) override;

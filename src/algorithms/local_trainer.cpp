@@ -19,10 +19,10 @@ struct SgdScratch {
 
 }  // namespace
 
-double run_local_sgd(nn::Model& model, const data::ClientShard& shard,
+double run_local_sgd(nn::Model& model, data::ClientDataRef data,
                      const LocalTrainConfig& cfg, runtime::Rng& rng,
                      const nn::SgdOptimizer::GradAdjust& adjust) {
-  if (shard.size() == 0) return 0.0;
+  if (data.size() == 0) return 0.0;
   nn::SgdOptimizer opt({.lr = cfg.lr,
                         .momentum = cfg.momentum,
                         .weight_decay = cfg.weight_decay});
@@ -30,7 +30,7 @@ double run_local_sgd(nn::Model& model, const data::ClientShard& shard,
   thread_local SgdScratch scratch;
   std::vector<std::size_t> order_storage;  // legacy path: fresh per call
   std::vector<std::size_t>& order = reuse ? scratch.order : order_storage;
-  order.resize(shard.size());
+  order.resize(data.size());
   std::iota(order.begin(), order.end(), std::size_t{0});
 
   double loss_sum = 0.0;
@@ -49,7 +49,7 @@ double run_local_sgd(nn::Model& model, const data::ClientShard& shard,
                                                    end - start);
       double step_loss;
       if (reuse) {
-        shard.batch_into(batch_idx, scratch.batch);
+        data.batch_into(batch_idx, scratch.batch);
         const nn::Tensor& logits =
             model.forward(scratch.batch.features, /*train=*/true);
         nn::softmax_cross_entropy_into(logits, scratch.batch.labels,
@@ -57,7 +57,7 @@ double run_local_sgd(nn::Model& model, const data::ClientShard& shard,
         model.backward(scratch.loss.grad);
         step_loss = scratch.loss.loss;
       } else {
-        const data::DataSet::Batch batch = shard.batch(batch_idx);
+        const data::DataSet::Batch batch = data.batch(batch_idx);
         const nn::Tensor logits =
             model.forward(batch.features, /*train=*/true);
         const nn::LossResult lr =
@@ -73,11 +73,11 @@ double run_local_sgd(nn::Model& model, const data::ClientShard& shard,
   return loss_batches > 0 ? loss_sum / static_cast<double>(loss_batches) : 0.0;
 }
 
-double SgdRule::train_client(nn::Model& model, const data::ClientShard& shard,
+double SgdRule::train_client(nn::Model& model, data::ClientDataRef data,
                              std::span<const float> /*reference_params*/,
                              std::size_t /*client_id*/,
                              const LocalTrainConfig& cfg, runtime::Rng& rng) {
-  return run_local_sgd(model, shard, cfg, rng, nullptr);
+  return run_local_sgd(model, data, cfg, rng, nullptr);
 }
 
 }  // namespace groupfel::algorithms

@@ -9,6 +9,7 @@
 #include <mutex>
 #include <string>
 
+#include "data/client_data.hpp"
 #include "data/dataset.hpp"
 #include "nn/model.hpp"
 #include "nn/optimizer.hpp"
@@ -36,14 +37,14 @@ class LocalUpdateRule {
 
   [[nodiscard]] virtual std::string name() const = 0;
 
-  /// Trains `model` in place on the client's shard for cfg.epochs local
-  /// epochs of minibatch SGD. `reference_params` is the group model the
-  /// client started from (x^g_{t,k}); `client_id` keys persistent
-  /// per-client state (SCAFFOLD). Returns the mean training loss.
+  /// Trains `model` in place on the client's data for cfg.epochs local
+  /// epochs of minibatch SGD. `data` views either a resident shard or a
+  /// lazily synthesized one (data/client_data.hpp); `reference_params` is
+  /// the group model the client started from (x^g_{t,k}); `client_id` keys
+  /// persistent per-client state (SCAFFOLD). Returns the mean training loss.
   ///
   /// Thread-safety: may be called concurrently for DIFFERENT client_ids.
-  virtual double train_client(nn::Model& model,
-                              const data::ClientShard& shard,
+  virtual double train_client(nn::Model& model, data::ClientDataRef data,
                               std::span<const float> reference_params,
                               std::size_t client_id,
                               const LocalTrainConfig& cfg,
@@ -59,7 +60,7 @@ class LocalUpdateRule {
 
 /// Shared minibatch-SGD loop used by all rules. `adjust` is the per-step
 /// gradient hook (may be null).
-double run_local_sgd(nn::Model& model, const data::ClientShard& shard,
+double run_local_sgd(nn::Model& model, data::ClientDataRef data,
                      const LocalTrainConfig& cfg, runtime::Rng& rng,
                      const nn::SgdOptimizer::GradAdjust& adjust);
 
@@ -67,7 +68,7 @@ double run_local_sgd(nn::Model& model, const data::ClientShard& shard,
 class SgdRule final : public LocalUpdateRule {
  public:
   [[nodiscard]] std::string name() const override { return "SGD"; }
-  double train_client(nn::Model& model, const data::ClientShard& shard,
+  double train_client(nn::Model& model, data::ClientDataRef data,
                       std::span<const float> reference_params,
                       std::size_t client_id, const LocalTrainConfig& cfg,
                       runtime::Rng& rng) override;

@@ -7,8 +7,7 @@ namespace groupfel::algorithms {
 ScaffoldRule::ScaffoldRule(std::size_t num_clients)
     : num_clients_(num_clients), c_i_(num_clients) {}
 
-double ScaffoldRule::train_client(nn::Model& model,
-                                  const data::ClientShard& shard,
+double ScaffoldRule::train_client(nn::Model& model, data::ClientDataRef data,
                                   std::span<const float> reference_params,
                                   std::size_t client_id,
                                   const LocalTrainConfig& cfg,
@@ -32,13 +31,13 @@ double ScaffoldRule::train_client(nn::Model& model,
     for (std::size_t i = 0; i < grad.size(); ++i)
       grad[i] += c_snapshot[offset + i] - ci_snapshot[offset + i];
   };
-  const double loss = run_local_sgd(model, shard, cfg, rng, adjust);
+  const double loss = run_local_sgd(model, data, cfg, rng, adjust);
 
   // Number of SGD steps taken locally.
   const std::size_t batches_per_epoch =
-      shard.size() == 0
+      data.size() == 0
           ? 0
-          : (shard.size() + cfg.batch_size - 1) / cfg.batch_size;
+          : (data.size() + cfg.batch_size - 1) / cfg.batch_size;
   const std::size_t steps = cfg.epochs * batches_per_epoch;
   if (steps == 0) return loss;
 

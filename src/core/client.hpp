@@ -1,31 +1,35 @@
-// Client role: a mobile device holding one data shard. In this simulator a
-// client is deliberately thin — local training is driven by the group
-// round (core/trainer.cpp) through a LocalUpdateRule.
+// Client role: a mobile device in the federation. In this simulator a
+// client is deliberately thin — local training is driven by the group round
+// (core/trainer.cpp) through a LocalUpdateRule — and deliberately O(bytes):
+// it carries the descriptor state a coordinator would know (id, data count,
+// label histogram) plus a ClientDataRef that materializes batches on demand,
+// never a resident copy of the local data.
 #pragma once
 
-#include "data/dataset.hpp"
+#include <vector>
+
+#include "data/client_data.hpp"
 
 namespace groupfel::core {
 
 class Client {
  public:
-  Client(std::size_t id, data::ClientShard shard)
-      : id_(id), shard_(std::move(shard)) {}
+  Client(std::size_t id, data::ClientDataRef data,
+         std::vector<std::size_t> label_counts)
+      : id_(id), data_(data), label_counts_(std::move(label_counts)) {}
 
   [[nodiscard]] std::size_t id() const noexcept { return id_; }
-  [[nodiscard]] const data::ClientShard& shard() const noexcept {
-    return shard_;
-  }
-  [[nodiscard]] std::size_t data_count() const noexcept {
-    return shard_.size();
-  }
-  [[nodiscard]] std::vector<std::size_t> label_counts() const {
-    return shard_.label_counts();
+  [[nodiscard]] data::ClientDataRef data() const noexcept { return data_; }
+  [[nodiscard]] std::size_t data_count() const { return data_.size(); }
+  /// The label-matrix row L_i this client reports to its edge server.
+  [[nodiscard]] const std::vector<std::size_t>& label_counts() const noexcept {
+    return label_counts_;
   }
 
  private:
   std::size_t id_;
-  data::ClientShard shard_;
+  data::ClientDataRef data_;
+  std::vector<std::size_t> label_counts_;
 };
 
 }  // namespace groupfel::core

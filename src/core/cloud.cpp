@@ -14,7 +14,9 @@ void Cloud::set_groups(std::vector<FormedGroup> groups) {
     covs.push_back(g.cov);
     group_sizes_.push_back(g.data_count);
   }
-  p_ = sampling::sampling_probabilities(sampling_, covs);
+  // Streaming Eq. 34: one O(n) pass with a compensated normalizer, reusing
+  // p_'s storage across regroupings.
+  sampling::sampling_probabilities_into(sampling_, covs, p_);
 }
 
 std::vector<std::size_t> Cloud::sample(std::size_t s,

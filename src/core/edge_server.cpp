@@ -1,6 +1,17 @@
 #include "core/edge_server.hpp"
 
+#include <algorithm>
+
 namespace groupfel::core {
+
+std::vector<std::size_t> group_size_histogram(
+    std::span<const FormedGroup> groups) {
+  std::size_t max_size = 0;
+  for (const auto& g : groups) max_size = std::max(max_size, g.clients.size());
+  std::vector<std::size_t> hist(max_size + 1, 0);
+  for (const auto& g : groups) ++hist[g.clients.size()];
+  return hist;
+}
 
 std::vector<FormedGroup> EdgeServer::form_groups(
     const data::LabelMatrix& global_matrix, grouping::GroupingMethod method,

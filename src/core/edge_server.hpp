@@ -3,6 +3,7 @@
 // the cloud can address any group's members directly.
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "core/client.hpp"
@@ -18,6 +19,12 @@ struct FormedGroup {
   std::size_t data_count = 0;        ///< n_g
   double cov = 0.0;                  ///< CoV of combined label counts
 };
+
+/// hist[s] = number of groups with exactly s members. At fleet scale this
+/// replaces per-group inspection: one O(groups) pass, then any size
+/// statistic (and the scale bench's distribution plot) reads the histogram.
+[[nodiscard]] std::vector<std::size_t> group_size_histogram(
+    std::span<const FormedGroup> groups);
 
 class EdgeServer {
  public:

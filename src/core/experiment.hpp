@@ -14,6 +14,23 @@ namespace groupfel::core {
 
 enum class ModelKind { kMlp, kResNet3, kCnn5 };
 
+/// How per-client training data is held — the lazy-vs-resident A/B toggle.
+enum class ClientStateMode {
+  /// Legacy path: carve resident shards from one shared sample pool
+  /// (data::dirichlet_partition). Byte-identical to pre-descriptor builds;
+  /// memory is O(num_clients * size_max * sample_dim).
+  kPoolResident,
+  /// Descriptor partition (O(bytes) per client), then materialize every
+  /// client's samples into resident shards — the resident arm of the
+  /// bit-identity gate. Same memory order as kPoolResident.
+  kDescriptorResident,
+  /// Descriptor partition only; minibatches are synthesized on demand from
+  /// per-sample RNG streams. Resident state is the descriptor table, so the
+  /// spec scales to 10^6 clients. Bit-identical training to
+  /// kDescriptorResident (ctest-gated).
+  kLazy,
+};
+
 struct ExperimentSpec {
   cost::Task task = cost::Task::kCifar;
   std::size_t num_clients = 300;
@@ -27,6 +44,7 @@ struct ExperimentSpec {
   ModelKind model = ModelKind::kMlp;
   std::size_t mlp_hidden = 64;
   std::uint64_t seed = 7;
+  ClientStateMode client_state = ClientStateMode::kPoolResident;
 
   /// Memberwise equality — core::run_sweep builds each distinct federation
   /// once and shares it across the cells that use it.
@@ -37,6 +55,9 @@ struct ExperimentSpec {
 struct Experiment {
   FederationTopology topology;
   data::SyntheticSpec data_spec;
+  /// The resident training pool (kPoolResident) or the materialized
+  /// federation dataset (kDescriptorResident). Null in kLazy mode — no
+  /// training sample is ever resident.
   std::shared_ptr<const data::DataSet> train_set;
 };
 

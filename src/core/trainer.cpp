@@ -43,18 +43,18 @@ GroupFelTrainer::GroupFelTrainer(FederationTopology topology,
       cloud_(cfg_.sampling, cfg_.aggregation),
       pool_(pool != nullptr ? pool : &runtime::ThreadPool::global()),
       run_rng_(cfg_.seed) {
-  if (topo_.shards.empty())
+  if (topo_.clients.num_clients() == 0)
     throw std::invalid_argument("GroupFelTrainer: no clients");
   if (!topo_.model_factory)
     throw std::invalid_argument("GroupFelTrainer: no model factory");
   if (topo_.edges.empty())
     throw std::invalid_argument("GroupFelTrainer: no edge servers");
 
-  label_matrix_ = data::LabelMatrix::from_shards(topo_.shards);
+  label_matrix_ = topo_.clients.label_matrix();
   for (std::size_t e = 0; e < topo_.edges.size(); ++e)
     edge_servers_.emplace_back(e, topo_.edges[e]);
 
-  rule_ = make_rule(cfg_, topo_.shards.size());
+  rule_ = make_rule(cfg_, topo_.clients.num_clients());
   prototype_ = topo_.model_factory();
   runtime::Rng init_rng = run_rng_.fork(0x696e6974ull /*"init"*/);
   prototype_.init(init_rng);
@@ -136,13 +136,13 @@ GroupFelTrainer::GroupRun GroupFelTrainer::run_group(
         // prototype, and read the result into the member's reused buffer.
         nn::Model& model = replicas_.local();
         model.set_flat_parameters(run.params);
-        losses[m] = rule_->train_client(model, topo_.shards[cid], run.params,
+        losses[m] = rule_->train_client(model, topo_.clients.client(cid), run.params,
                                         cid, local_cfg, client_rng);
         model.flat_parameters_into(locals[m]);
       } else {
         nn::Model model = prototype_.clone();
         model.set_flat_parameters(run.params);
-        losses[m] = rule_->train_client(model, topo_.shards[cid], run.params,
+        losses[m] = rule_->train_client(model, topo_.clients.client(cid), run.params,
                                         cid, local_cfg, client_rng);
         locals[m] = model.flat_parameters();
       }
@@ -206,7 +206,7 @@ GroupFelTrainer::GroupRun GroupFelTrainer::run_group(
     double surviving_data = 0.0;
     for (auto m : survivors)
       surviving_data +=
-          static_cast<double>(topo_.shards[group.clients[m]].size());
+          static_cast<double>(topo_.clients.data_count(group.clients[m]));
     if (surviving_data <= 0.0) continue;
 
     if (cfg_.use_real_secagg) {
@@ -224,7 +224,7 @@ GroupFelTrainer::GroupRun GroupFelTrainer::run_group(
       std::vector<std::optional<std::vector<secagg::Fe>>> slots(members);
       for (auto m : survivors) {
         const float w = static_cast<float>(
-            static_cast<double>(topo_.shards[group.clients[m]].size()) /
+            static_cast<double>(topo_.clients.data_count(group.clients[m])) /
             surviving_data);
         if (cfg_.reuse_model_replicas) {
           // The protocol quantizes the scaled vector into field elements
@@ -257,7 +257,7 @@ GroupFelTrainer::GroupRun GroupFelTrainer::run_group(
                     " returned a flat vector of the wrong length");
         views.emplace_back(locals[m]);
         weights.push_back(
-            static_cast<double>(topo_.shards[group.clients[m]].size()) /
+            static_cast<double>(topo_.clients.data_count(group.clients[m])) /
             surviving_data);
       }
       nn::weighted_average_into(run.params, views, weights, pool_);
@@ -274,7 +274,7 @@ GroupFelTrainer::GroupRun GroupFelTrainer::run_group(
         else
           surviving_models.push_back(std::move(locals[m]));
         weights.push_back(
-            static_cast<double>(topo_.shards[group.clients[m]].size()) /
+            static_cast<double>(topo_.clients.data_count(group.clients[m])) /
             surviving_data);
       }
       run.params = nn::weighted_average(surviving_models, weights);
@@ -286,7 +286,7 @@ GroupFelTrainer::GroupRun GroupFelTrainer::run_group(
 
 void GroupFelTrainer::fedclar_clusterize(const std::vector<float>& global_params,
                                          std::size_t round) {
-  const std::size_t n = topo_.shards.size();
+  const std::size_t n = topo_.clients.num_clients();
   std::vector<std::vector<float>> deltas(n);
   algorithms::LocalTrainConfig probe_cfg = cfg_.local;
   probe_cfg.epochs = 1;
@@ -297,14 +297,14 @@ void GroupFelTrainer::fedclar_clusterize(const std::vector<float>& global_params
     if (cfg_.reuse_model_replicas) {
       nn::Model& model = replicas_.local();
       model.set_flat_parameters(global_params);
-      (void)probe.train_client(model, topo_.shards[cid], global_params, cid,
+      (void)probe.train_client(model, topo_.clients.client(cid), global_params, cid,
                                probe_cfg, rng);
       deltas[cid].resize(global_params.size());
       model.flat_parameters_into(deltas[cid]);
     } else {
       nn::Model model = prototype_.clone();
       model.set_flat_parameters(global_params);
-      (void)probe.train_client(model, topo_.shards[cid], global_params, cid,
+      (void)probe.train_client(model, topo_.clients.client(cid), global_params, cid,
                                probe_cfg, rng);
       deltas[cid] = model.flat_parameters();
     }
@@ -351,7 +351,7 @@ TrainResult GroupFelTrainer::train(double cost_budget) {
     std::vector<double> weights(cluster_params_.size(), 0.0);
     for (std::size_t cid = 0; cid < cluster_of_.size(); ++cid)
       weights[cluster_of_[cid]] +=
-          static_cast<double>(topo_.shards[cid].size());
+          static_cast<double>(topo_.clients.data_count(cid));
     double total = 0.0;
     for (double w : weights) total += w;
     for (auto& w : weights) w /= total;
@@ -438,7 +438,7 @@ TrainResult GroupFelTrainer::train(double cost_budget) {
           FormedGroup sub;
           sub.edge_id = group.edge_id;
           sub.clients = by_cluster[c];
-          for (auto cid : sub.clients) sub.data_count += topo_.shards[cid].size();
+          for (auto cid : sub.clients) sub.data_count += topo_.clients.data_count(cid);
           GroupRun run = run_group(sub, cluster_params_[c], t, gi * 31 + c);
           round_loss += run.loss_sum;
           round_batches += run.loss_count;
@@ -466,7 +466,7 @@ TrainResult GroupFelTrainer::train(double cost_budget) {
       const FormedGroup& group = cloud_.groups()[gi];
       std::vector<std::size_t> counts;
       counts.reserve(group.clients.size());
-      for (auto cid : group.clients) counts.push_back(topo_.shards[cid].size());
+      for (auto cid : group.clients) counts.push_back(topo_.clients.data_count(cid));
       cost_.charge_group(counts, cfg_.group_rounds, cfg_.local_epochs);
       comm_bytes += static_cast<double>(cfg_.group_rounds) *
                         static_cast<double>(group.clients.size()) * 2.0 *

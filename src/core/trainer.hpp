@@ -25,16 +25,20 @@
 #include "core/edge_server.hpp"
 #include "core/evaluator.hpp"
 #include "cost/cost_model.hpp"
+#include "data/client_data.hpp"
 #include "data/label_matrix.hpp"
 #include "runtime/replica_cache.hpp"
 #include "runtime/thread_pool.hpp"
 
 namespace groupfel::core {
 
-/// The simulated federation: client shards, edge assignment, held-out test
-/// set, and a factory producing freshly-structured (uninitialized) models.
+/// The simulated federation: client data store, edge assignment, held-out
+/// test set, and a factory producing freshly-structured (uninitialized)
+/// models.
 struct FederationTopology {
-  std::vector<data::ClientShard> shards;        ///< by global client id
+  /// Client training data by global client id — resident shards or a lazy
+  /// descriptor-backed source (data/client_data.hpp).
+  data::ClientDataStore clients;
   std::vector<std::vector<std::size_t>> edges;  ///< edge -> global client ids
   std::shared_ptr<const data::DataSet> test_set;
   std::function<nn::Model()> model_factory;

@@ -1,0 +1,73 @@
+#include "data/client_descriptor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/check.hpp"
+
+namespace groupfel::data {
+
+ClientPopulation::ClientPopulation(std::size_t num_clients,
+                                   std::size_t num_classes)
+    : classes_(num_classes),
+      counts_(num_clients * num_classes, 0),
+      sizes_(num_clients, 0),
+      seeds_(num_clients, 0) {
+  if (num_classes == 0)
+    throw std::invalid_argument("ClientPopulation: zero classes");
+}
+
+std::size_t ClientPopulation::intended_class(std::size_t c,
+                                             std::size_t local_index) const {
+  const std::span<const Count> row = label_counts(c);
+  std::size_t prefix = 0;
+  for (std::size_t cls = 0; cls < classes_; ++cls) {
+    prefix += row[cls];
+    if (local_index < prefix) return cls;
+  }
+  throw std::out_of_range("ClientPopulation::intended_class: index " +
+                          std::to_string(local_index) + " >= client size");
+}
+
+std::size_t ClientPopulation::total_samples() const {
+  std::size_t total = 0;
+  for (auto s : sizes_) total += s;
+  return total;
+}
+
+ClientPopulation descriptor_partition(const PartitionSpec& spec,
+                                      std::size_t num_classes,
+                                      runtime::Rng& rng) {
+  if (spec.num_clients == 0)
+    throw std::invalid_argument("descriptor_partition: zero clients");
+  if (spec.size_min == 0 || spec.size_min > spec.size_max)
+    throw std::invalid_argument("descriptor_partition: bad size bounds");
+
+  ClientPopulation pop(spec.num_clients, num_classes);
+  for (std::size_t i = 0; i < spec.num_clients; ++i) {
+    // One independent stream per client, keyed by index — the partition is
+    // reproducible and could be evaluated in any order (or in parallel).
+    runtime::Rng crng = rng.fork(i);
+    const double draw = crng.normal(spec.size_mean, spec.size_std);
+    const auto clamped = std::clamp(
+        static_cast<long long>(std::llround(draw)),
+        static_cast<long long>(spec.size_min),
+        static_cast<long long>(spec.size_max));
+    const std::size_t size = static_cast<std::size_t>(clamped);
+    pop.set_data_count(i, size);
+
+    const std::vector<double> props = crng.dirichlet(spec.alpha, num_classes);
+    auto row = pop.label_counts_mutable(i);
+    for (std::size_t s = 0; s < size; ++s) ++row[crng.categorical(props)];
+    pop.set_seed(i, crng.next_u64());
+
+    std::size_t row_total = 0;
+    for (auto c : row) row_total += c;
+    GF_CHECK_EQ(row_total, size, "descriptor_partition: client ", i,
+                " histogram does not sum to its data count");
+  }
+  return pop;
+}
+
+}  // namespace groupfel::data

@@ -27,27 +27,33 @@ std::vector<std::size_t> DataSet::sample_shape() const {
   return {features_.shape().begin() + 1, features_.shape().end()};
 }
 
-namespace {
-
-/// Shapes out's feature tensor as [n, <sample dims of features_like>] and
-/// its label vector as n entries, reusing out's storage. The common case —
-/// out already holds a batch of the same sample shape — only adjusts the
-/// leading dimension.
-void prepare_batch(const nn::Tensor& features_like, std::size_t n,
+void prepare_batch(std::span<const std::size_t> sample_shape, std::size_t n,
                    DataSet::Batch& out) {
-  const auto& fshape = features_like.shape();
   const auto& oshape = out.features.shape();
   const bool tail_matches =
-      oshape.size() == fshape.size() &&
-      std::equal(oshape.begin() + 1, oshape.end(), fshape.begin() + 1);
+      oshape.size() == sample_shape.size() + 1 &&
+      std::equal(oshape.begin() + 1, oshape.end(), sample_shape.begin());
   if (tail_matches) {
+    // Common case — out already holds a batch of this sample shape; only the
+    // leading dimension moves, so no reshape bookkeeping.
     out.features.resize_leading(n);
   } else {
-    std::vector<std::size_t> shape = fshape;
-    shape[0] = n;
+    std::vector<std::size_t> shape;
+    shape.reserve(sample_shape.size() + 1);
+    shape.push_back(n);
+    shape.insert(shape.end(), sample_shape.begin(), sample_shape.end());
     out.features.resize(shape);
   }
   out.labels.resize(n);
+}
+
+namespace {
+
+/// prepare_batch keyed off a resident feature tensor's [N, ...] shape.
+void prepare_batch_like(const nn::Tensor& features_like, std::size_t n,
+                        DataSet::Batch& out) {
+  const auto& fshape = features_like.shape();
+  prepare_batch({fshape.data() + 1, fshape.size() - 1}, n, out);
 }
 
 }  // namespace
@@ -61,7 +67,7 @@ DataSet::Batch DataSet::gather(std::span<const std::size_t> indices) const {
 void DataSet::gather_into(std::span<const std::size_t> indices,
                           Batch& out) const {
   const std::size_t stride = sample_size();
-  prepare_batch(features_, indices.size(), out);
+  prepare_batch_like(features_, indices.size(), out);
   for (std::size_t i = 0; i < indices.size(); ++i) {
     const std::size_t src = indices[i];
     if (src >= size())
@@ -106,7 +112,7 @@ void ClientShard::batch_into(std::span<const std::size_t> local_positions,
                              DataSet::Batch& out) const {
   const DataSet& ds = *dataset_;
   const std::size_t stride = ds.sample_size();
-  prepare_batch(ds.features(), local_positions.size(), out);
+  prepare_batch_like(ds.features(), local_positions.size(), out);
   const auto labels = ds.labels();
   for (std::size_t i = 0; i < local_positions.size(); ++i) {
     const std::size_t src = indices_.at(local_positions[i]);

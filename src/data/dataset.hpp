@@ -59,6 +59,13 @@ class DataSet {
   std::size_t classes_ = 0;
 };
 
+/// Shapes `out`'s feature tensor as [n, sample_shape...] and its label
+/// vector as n entries, reusing out's storage (the zero-alloc batch
+/// contract from DataSet::gather_into, available to batch producers that
+/// synthesize samples instead of copying them from a resident tensor).
+void prepare_batch(std::span<const std::size_t> sample_shape, std::size_t n,
+                   DataSet::Batch& out);
+
 /// A client's view of a shared dataset.
 class ClientShard {
  public:

@@ -7,39 +7,77 @@ namespace groupfel::data {
 
 LabelMatrix::LabelMatrix(std::vector<std::vector<std::size_t>> rows,
                          std::size_t num_labels)
-    : rows_(std::move(rows)), labels_(num_labels) {
-  for (const auto& r : rows_)
+    : labels_(num_labels) {
+  flat_.reserve(rows.size() * num_labels);
+  for (const auto& r : rows) {
     if (r.size() != labels_)
       throw std::invalid_argument("LabelMatrix: ragged rows");
+    flat_.insert(flat_.end(), r.begin(), r.end());
+  }
+}
+
+LabelMatrix LabelMatrix::from_flat(std::vector<std::size_t> flat,
+                                   std::size_t num_labels) {
+  if (num_labels == 0 ? !flat.empty() : flat.size() % num_labels != 0)
+    throw std::invalid_argument("LabelMatrix: flat size not row-divisible");
+  LabelMatrix m;
+  m.flat_ = std::move(flat);
+  m.labels_ = num_labels;
+  return m;
 }
 
 LabelMatrix LabelMatrix::from_shards(std::span<const ClientShard> shards) {
   if (shards.empty()) return {};
-  std::vector<std::vector<std::size_t>> rows;
-  rows.reserve(shards.size());
   const std::size_t m = shards[0].dataset().num_classes();
-  for (const auto& shard : shards) rows.push_back(shard.label_counts());
-  return LabelMatrix(std::move(rows), m);
+  std::vector<std::size_t> flat;
+  flat.reserve(shards.size() * m);
+  for (const auto& shard : shards) {
+    const std::vector<std::size_t> counts = shard.label_counts();
+    flat.insert(flat.end(), counts.begin(), counts.end());
+  }
+  return from_flat(std::move(flat), m);
+}
+
+LabelMatrix LabelMatrix::from_population(const ClientPopulation& population) {
+  const std::size_t m = population.num_classes();
+  std::vector<std::size_t> flat(population.num_clients() * m);
+  for (std::size_t c = 0; c < population.num_clients(); ++c) {
+    const auto row = population.label_counts(c);
+    for (std::size_t j = 0; j < m; ++j) flat[c * m + j] = row[j];
+  }
+  return from_flat(std::move(flat), m);
+}
+
+std::span<const std::size_t> LabelMatrix::row(std::size_t client) const {
+  if (client >= num_clients())
+    throw std::out_of_range("LabelMatrix::row: bad client");
+  return {flat_.data() + client * labels_, labels_};
 }
 
 std::size_t LabelMatrix::client_total(std::size_t client) const {
-  const auto& r = rows_.at(client);
+  const auto r = row(client);
   return std::accumulate(r.begin(), r.end(), std::size_t{0});
 }
 
 std::vector<std::size_t> LabelMatrix::global_counts() const {
   std::vector<std::size_t> sums(labels_, 0);
-  for (const auto& r : rows_)
+  const std::size_t n = num_clients();
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto r = row(i);
     for (std::size_t j = 0; j < labels_; ++j) sums[j] += r[j];
+  }
   return sums;
 }
 
 LabelMatrix LabelMatrix::submatrix(
     std::span<const std::size_t> clients) const {
-  std::vector<std::vector<std::size_t>> rows;
-  rows.reserve(clients.size());
-  for (auto c : clients) rows.push_back(rows_.at(c));
-  return LabelMatrix(std::move(rows), labels_);
+  std::vector<std::size_t> flat;
+  flat.reserve(clients.size() * labels_);
+  for (auto c : clients) {
+    const auto r = row(c);
+    flat.insert(flat.end(), r.begin(), r.end());
+  }
+  return from_flat(std::move(flat), labels_);
 }
 
 }  // namespace groupfel::data

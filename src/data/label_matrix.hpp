@@ -2,11 +2,17 @@
 // client i. Grouping algorithms operate exclusively on this matrix — the
 // paper stresses that CoV needs "the data label distributions from users...
 // without any information of their local data, model, nor gradient".
+//
+// Storage is one flat row-major array: a million-client matrix is a single
+// allocation instead of a million row vectors (24 bytes + one heap block
+// each), which is what lets fleet-scale grouping stream over L in cache
+// order.
 #pragma once
 
 #include <span>
 #include <vector>
 
+#include "data/client_descriptor.hpp"
 #include "data/dataset.hpp"
 
 namespace groupfel::data {
@@ -19,15 +25,25 @@ class LabelMatrix {
   LabelMatrix(std::vector<std::vector<std::size_t>> rows,
               std::size_t num_labels);
 
-  /// Builds the matrix from client shards.
+  /// Flat row-major counts: flat[i * num_labels + j] = L[i][j]. A named
+  /// factory (not a constructor) so nested-brace row literals in the ctor
+  /// above stay unambiguous.
+  static LabelMatrix from_flat(std::vector<std::size_t> flat,
+                               std::size_t num_labels);
+
+  /// Builds the matrix from client shards (observed labels).
   static LabelMatrix from_shards(std::span<const ClientShard> shards);
 
-  [[nodiscard]] std::size_t num_clients() const noexcept { return rows_.size(); }
+  /// Builds the matrix from a descriptor table (intended labels) — no
+  /// sample data needed, O(clients * labels) straight copy.
+  static LabelMatrix from_population(const ClientPopulation& population);
+
+  [[nodiscard]] std::size_t num_clients() const noexcept {
+    return labels_ == 0 ? 0 : flat_.size() / labels_;
+  }
   [[nodiscard]] std::size_t num_labels() const noexcept { return labels_; }
 
-  [[nodiscard]] std::span<const std::size_t> row(std::size_t client) const {
-    return rows_.at(client);
-  }
+  [[nodiscard]] std::span<const std::size_t> row(std::size_t client) const;
 
   /// Total samples on a client.
   [[nodiscard]] std::size_t client_total(std::size_t client) const;
@@ -39,7 +55,7 @@ class LabelMatrix {
   [[nodiscard]] LabelMatrix submatrix(std::span<const std::size_t> clients) const;
 
  private:
-  std::vector<std::vector<std::size_t>> rows_;
+  std::vector<std::size_t> flat_;  ///< [num_clients * num_labels], row-major
   std::size_t labels_ = 0;
 };
 

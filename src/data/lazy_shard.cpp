@@ -1,0 +1,97 @@
+#include "data/lazy_shard.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "util/check.hpp"
+
+namespace groupfel::data {
+
+LazyShardSource::LazyShardSource(SyntheticSpec spec, ClientPopulation population)
+    : spec_(std::move(spec)),
+      population_(std::move(population)),
+      prototypes_(make_prototypes(spec_)),
+      dim_(nn::shape_size(spec_.sample_shape)) {
+  if (population_.num_classes() != spec_.num_classes)
+    throw std::invalid_argument(
+        "LazyShardSource: population/spec class count mismatch");
+}
+
+void LazyShardSource::batch_into(std::size_t c,
+                                 std::span<const std::size_t> local_positions,
+                                 DataSet::Batch& out) const {
+  const std::size_t n_c = population_.data_count(c);
+  const std::uint64_t client_seed = population_.seed(c);
+  prepare_batch(spec_.sample_shape, local_positions.size(), out);
+  for (std::size_t i = 0; i < local_positions.size(); ++i) {
+    const std::size_t pos = local_positions[i];
+    if (pos >= n_c)
+      throw std::out_of_range("LazyShardSource::batch_into: bad position");
+    const std::size_t cls = population_.intended_class(c, pos);
+    const std::uint64_t seed = sample_stream_seed(client_seed, pos);
+    out.labels[i] = synthesize_sample(spec_, prototypes_, seed, cls,
+                                      out.features.raw() + i * dim_);
+  }
+}
+
+DataSet::Batch LazyShardSource::materialize_client(std::size_t c) const {
+  DataSet::Batch out;
+  const std::size_t n_c = population_.data_count(c);
+  prepare_batch(spec_.sample_shape, n_c, out);
+  // Walk the histogram instead of prefix-scanning per sample: the canonical
+  // layout orders samples by ascending intended class.
+  const auto row = population_.label_counts(c);
+  const std::uint64_t client_seed = population_.seed(c);
+  std::size_t pos = 0;
+  for (std::size_t cls = 0; cls < row.size(); ++cls) {
+    for (std::uint32_t k = 0; k < row[cls]; ++k, ++pos) {
+      const std::uint64_t seed = sample_stream_seed(client_seed, pos);
+      out.labels[pos] = synthesize_sample(spec_, prototypes_, seed, cls,
+                                          out.features.raw() + pos * dim_);
+    }
+  }
+  GF_CHECK_EQ(pos, n_c, "materialize_client: histogram/size mismatch");
+  return out;
+}
+
+MaterializedPopulation materialize_population(const LazyShardSource& source) {
+  const ClientPopulation& pop = source.population();
+  const std::size_t total = pop.total_samples();
+  const std::size_t dim = source.sample_size();
+
+  std::vector<std::size_t> shape;
+  shape.push_back(total);
+  shape.insert(shape.end(), source.sample_shape().begin(),
+               source.sample_shape().end());
+  nn::Tensor features(shape);
+  std::vector<std::int32_t> labels(total);
+
+  std::vector<std::size_t> offsets(pop.num_clients() + 1, 0);
+  DataSet::Batch scratch;
+  std::size_t cursor = 0;
+  for (std::size_t c = 0; c < pop.num_clients(); ++c) {
+    offsets[c] = cursor;
+    scratch = source.materialize_client(c);
+    std::copy_n(scratch.features.raw(), scratch.labels.size() * dim,
+                features.raw() + cursor * dim);
+    std::copy_n(scratch.labels.data(), scratch.labels.size(),
+                labels.begin() + static_cast<std::ptrdiff_t>(cursor));
+    cursor += scratch.labels.size();
+  }
+  offsets[pop.num_clients()] = cursor;
+  GF_CHECK_EQ(cursor, total, "materialize_population: sample count drift");
+
+  MaterializedPopulation out;
+  out.dataset = std::make_shared<const DataSet>(
+      std::move(features), std::move(labels), source.num_classes());
+  out.shards.reserve(pop.num_clients());
+  for (std::size_t c = 0; c < pop.num_clients(); ++c) {
+    std::vector<std::size_t> indices(offsets[c + 1] - offsets[c]);
+    std::iota(indices.begin(), indices.end(), offsets[c]);
+    out.shards.emplace_back(out.dataset, std::move(indices));
+  }
+  return out;
+}
+
+}  // namespace groupfel::data

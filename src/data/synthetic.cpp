@@ -31,22 +31,51 @@ SyntheticSpec sc_like_spec(bool image) {
   return spec;
 }
 
-DataSet make_synthetic(const SyntheticSpec& spec, std::size_t n,
-                       runtime::Rng& rng) {
+std::vector<float> make_prototypes(const SyntheticSpec& spec) {
   if (spec.num_classes == 0)
-    throw std::invalid_argument("make_synthetic: zero classes");
+    throw std::invalid_argument("make_prototypes: zero classes");
   if (spec.modes_per_class == 0)
-    throw std::invalid_argument("make_synthetic: zero modes per class");
+    throw std::invalid_argument("make_prototypes: zero modes per class");
   const std::size_t dim = nn::shape_size(spec.sample_shape);
-  if (dim == 0) throw std::invalid_argument("make_synthetic: empty shape");
-
+  if (dim == 0) throw std::invalid_argument("make_prototypes: empty shape");
   // Class prototypes come from the spec's own seed so every dataset drawn
   // from the same spec (train, test, extra pools) shares one class geometry.
   runtime::Rng proto_rng(spec.prototype_seed);
-  const std::size_t modes = spec.modes_per_class;
-  std::vector<float> prototypes(spec.num_classes * modes * dim);
+  std::vector<float> prototypes(spec.num_classes * spec.modes_per_class * dim);
   for (auto& v : prototypes)
     v = static_cast<float>(proto_rng.normal() * spec.prototype_scale);
+  return prototypes;
+}
+
+std::uint64_t sample_stream_seed(std::uint64_t client_seed,
+                                 std::uint64_t local_index) noexcept {
+  std::uint64_t sm = client_seed ^ (local_index * 0x9e3779b97f4a7c15ull);
+  return runtime::splitmix64(sm);
+}
+
+std::int32_t synthesize_sample(const SyntheticSpec& spec,
+                               std::span<const float> prototypes,
+                               std::uint64_t seed, std::size_t cls,
+                               float* out) {
+  const std::size_t dim = nn::shape_size(spec.sample_shape);
+  runtime::Rng rng(seed);
+  // Same draw order as make_synthetic: mode, features, label reroll.
+  const std::size_t modes = spec.modes_per_class;
+  const std::size_t mode = modes > 1 ? rng.next_below(modes) : 0;
+  const float* proto = prototypes.data() + (cls * modes + mode) * dim;
+  for (std::size_t d = 0; d < dim; ++d)
+    out[d] = proto[d] + static_cast<float>(rng.normal() * spec.noise_scale);
+  std::int32_t label = static_cast<std::int32_t>(cls);
+  if (spec.label_noise > 0.0 && rng.next_double() < spec.label_noise)
+    label = static_cast<std::int32_t>(rng.next_below(spec.num_classes));
+  return label;
+}
+
+DataSet make_synthetic(const SyntheticSpec& spec, std::size_t n,
+                       runtime::Rng& rng) {
+  const std::vector<float> prototypes = make_prototypes(spec);
+  const std::size_t dim = nn::shape_size(spec.sample_shape);
+  const std::size_t modes = spec.modes_per_class;
 
   std::vector<std::size_t> shape;
   shape.push_back(n);

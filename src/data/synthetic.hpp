@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 
 #include "data/dataset.hpp"
 #include "runtime/rng.hpp"
@@ -39,6 +40,29 @@ struct SyntheticSpec {
 /// global distribution is balanced, §5.1).
 [[nodiscard]] DataSet make_synthetic(const SyntheticSpec& spec, std::size_t n,
                                      runtime::Rng& rng);
+
+/// Class-prototype table for a spec: [num_classes * modes_per_class * dim]
+/// floats drawn from spec.prototype_seed. Every dataset or lazily
+/// materialized sample generated from the same spec shares this geometry.
+[[nodiscard]] std::vector<float> make_prototypes(const SyntheticSpec& spec);
+
+/// Seed of the independent Rng stream for one sample, keyed by the owning
+/// client's seed and the sample's local index. Counter-based (no shared
+/// stream), so any sample can be regenerated in isolation, in any order, on
+/// any thread, bit-identically.
+[[nodiscard]] std::uint64_t sample_stream_seed(std::uint64_t client_seed,
+                                               std::uint64_t local_index)
+    noexcept;
+
+/// Synthesizes ONE sample of intended class `cls` from its own stream:
+/// mode draw, prototype + isotropic noise into `out` (dim floats), then the
+/// label-noise reroll. Returns the observed label. Deterministic in
+/// (spec, prototypes, seed, cls) — repeated calls are bit-identical, which
+/// is the contract the lazy client-state path is built on.
+std::int32_t synthesize_sample(const SyntheticSpec& spec,
+                               std::span<const float> prototypes,
+                               std::uint64_t seed, std::size_t cls,
+                               float* out);
 
 /// CIFAR-10-like: 10 classes. `image` selects {3, 16, 16} images for the
 /// conv models; otherwise 32-dim embedded features for the MLP surrogate.

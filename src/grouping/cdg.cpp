@@ -18,19 +18,20 @@ Grouping cdg_grouping(const data::LabelMatrix& matrix,
   const std::size_t gs = std::max<std::size_t>(1, params.min_group_size);
   const std::size_t num_groups = std::max<std::size_t>(1, n / gs);
 
-  // Normalized label distributions as clustering features.
-  std::vector<std::vector<double>> points(n);
+  // Normalized label distributions as clustering features, in the flat
+  // row-major layout: one allocation for the whole federation instead of a
+  // heap vector per client.
+  const std::size_t m = matrix.num_labels();
+  std::vector<double> points(n * m);
   for (std::size_t i = 0; i < n; ++i) {
     const auto row = matrix.row(i);
     const double total = static_cast<double>(matrix.client_total(i));
-    points[i].resize(row.size());
-    for (std::size_t j = 0; j < row.size(); ++j)
-      points[i][j] = total > 0 ? static_cast<double>(row[j]) / total : 0.0;
+    for (std::size_t j = 0; j < m; ++j)
+      points[i * m + j] = total > 0 ? static_cast<double>(row[j]) / total : 0.0;
   }
 
-  const std::size_t k =
-      params.num_clusters > 0 ? params.num_clusters : matrix.num_labels();
-  const KMeansResult km = kmeans(points, k, rng);
+  const std::size_t k = params.num_clusters > 0 ? params.num_clusters : m;
+  const KMeansResult km = kmeans(points, m, k, rng);
 
   // Gather clusters, shuffle within each so the deal is unbiased.
   std::vector<std::vector<std::size_t>> clusters(km.centroids.size());

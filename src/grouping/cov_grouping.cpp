@@ -4,6 +4,11 @@
 // that minimizes the group's CoV, while the group is under MinGS or above
 // MaxCoV. The group is finalized when no candidate improves the CoV and the
 // size constraint is met (MaxCoV is soft — see the paper's footnote 4).
+//
+// With params.greedy_window > 0 the greedy runs inside consecutive windows
+// of a once-shuffled pool (streaming/partitioned mode for fleet-scale
+// edges); window 0 is the classic whole-pool greedy, byte-identical to the
+// original implementation.
 #include <limits>
 #include <numeric>
 
@@ -11,13 +16,13 @@
 
 namespace groupfel::grouping {
 
-Grouping cov_grouping(const data::LabelMatrix& matrix,
-                      const GroupingParams& params, runtime::Rng& rng) {
-  const std::size_t n = matrix.num_clients();
-  Grouping groups;
-  std::vector<std::size_t> pool(n);
-  std::iota(pool.begin(), pool.end(), std::size_t{0});
+namespace {
 
+/// Algorithm 2 over one candidate pool; consumes `pool`, appends to
+/// `groups`. RNG draws: one next_below per opened group (line 3).
+void greedy_over_pool(const data::LabelMatrix& matrix,
+                      const GroupingParams& params, runtime::Rng& rng,
+                      std::vector<std::size_t>& pool, Grouping& groups) {
   while (!pool.empty()) {
     // Line 3: random first client — the paper notes this randomization is
     // what makes periodic regrouping produce fresh groups.
@@ -52,6 +57,34 @@ Grouping cov_grouping(const data::LabelMatrix& matrix,
       }
     }
     groups.push_back(std::move(group));
+  }
+}
+
+}  // namespace
+
+Grouping cov_grouping(const data::LabelMatrix& matrix,
+                      const GroupingParams& params, runtime::Rng& rng) {
+  const std::size_t n = matrix.num_clients();
+  Grouping groups;
+  std::vector<std::size_t> pool(n);
+  std::iota(pool.begin(), pool.end(), std::size_t{0});
+
+  const std::size_t window = params.greedy_window;
+  if (window == 0 || n <= window) {
+    greedy_over_pool(matrix, params, rng, pool, groups);
+    return groups;
+  }
+
+  // Streaming mode: one shuffle gives every window an unbiased slice of the
+  // population, then each window runs the classic greedy independently.
+  rng.shuffle(pool);
+  std::vector<std::size_t> window_pool;
+  window_pool.reserve(window);
+  for (std::size_t start = 0; start < n; start += window) {
+    const std::size_t end = std::min(n, start + window);
+    window_pool.assign(pool.begin() + static_cast<std::ptrdiff_t>(start),
+                       pool.begin() + static_cast<std::ptrdiff_t>(end));
+    greedy_over_pool(matrix, params, rng, window_pool, groups);
   }
   return groups;
 }

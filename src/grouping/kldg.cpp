@@ -7,6 +7,11 @@
 // original — the group distribution is recomputed from scratch for every
 // candidate evaluation. That yields the O(|K|^4 |Y|) complexity (plus the
 // log() calls) the paper measures in Fig. 5.
+//
+// params.greedy_window > 0 runs the same greedy inside consecutive windows
+// of a once-shuffled pool (see cov_grouping.cpp); the per-candidate
+// recompute is preserved, so windowed KLDG is O(n w^2 m) instead of
+// O(n^3 m) — still the most expensive method, as in the paper.
 #include <cmath>
 #include <limits>
 #include <numeric>
@@ -19,11 +24,14 @@ namespace groupfel::grouping {
 namespace {
 /// KLD(group distribution || global distribution), recomputed from scratch
 /// over the member rows (intentionally not incremental; see header comment).
+/// `counts` is caller-owned scratch, resized/overwritten here so candidate
+/// scans do not allocate per evaluation.
 double group_kld(const data::LabelMatrix& matrix,
                  const std::vector<std::size_t>& group,
                  std::size_t extra_client,
-                 const std::vector<double>& global_dist) {
-  std::vector<double> counts(matrix.num_labels(), 0.0);
+                 const std::vector<double>& global_dist,
+                 std::vector<double>& counts) {
+  counts.assign(matrix.num_labels(), 0.0);
   for (auto c : group) {
     const auto row = matrix.row(c);
     for (std::size_t j = 0; j < counts.size(); ++j)
@@ -33,6 +41,50 @@ double group_kld(const data::LabelMatrix& matrix,
   for (std::size_t j = 0; j < counts.size(); ++j)
     counts[j] += static_cast<double>(row[j]);
   return util::kl_divergence(counts, global_dist);
+}
+
+void greedy_over_pool(const data::LabelMatrix& matrix,
+                      const GroupingParams& params, runtime::Rng& rng,
+                      const std::vector<double>& global_dist,
+                      std::vector<std::size_t>& pool, Grouping& groups) {
+  std::vector<double> scratch;
+  while (!pool.empty()) {
+    const std::size_t first_pos = rng.next_below(pool.size());
+    std::vector<std::size_t> group{pool[first_pos]};
+    pool.erase(pool.begin() + static_cast<std::ptrdiff_t>(first_pos));
+
+    auto current_kld = [&] {
+      scratch.assign(matrix.num_labels(), 0.0);
+      for (auto c : group) {
+        const auto row = matrix.row(c);
+        for (std::size_t j = 0; j < scratch.size(); ++j)
+          scratch[j] += static_cast<double>(row[j]);
+      }
+      return util::kl_divergence(scratch, global_dist);
+    };
+
+    while ((current_kld() > params.kld_threshold ||
+            group.size() < params.min_group_size) &&
+           !pool.empty()) {
+      double best = std::numeric_limits<double>::infinity();
+      std::size_t best_pos = 0;
+      for (std::size_t pos = 0; pos < pool.size(); ++pos) {
+        const double kld =
+            group_kld(matrix, group, pool[pos], global_dist, scratch);
+        if (kld < best) {
+          best = kld;
+          best_pos = pos;
+        }
+      }
+      if (best < current_kld() || group.size() < params.min_group_size) {
+        group.push_back(pool[best_pos]);
+        pool.erase(pool.begin() + static_cast<std::ptrdiff_t>(best_pos));
+      } else {
+        break;
+      }
+    }
+    groups.push_back(std::move(group));
+  }
 }
 }  // namespace
 
@@ -48,41 +100,20 @@ Grouping kldg_grouping(const data::LabelMatrix& matrix,
   std::vector<std::size_t> pool(n);
   std::iota(pool.begin(), pool.end(), std::size_t{0});
 
-  while (!pool.empty()) {
-    const std::size_t first_pos = rng.next_below(pool.size());
-    std::vector<std::size_t> group{pool[first_pos]};
-    pool.erase(pool.begin() + static_cast<std::ptrdiff_t>(first_pos));
+  const std::size_t window = params.greedy_window;
+  if (window == 0 || n <= window) {
+    greedy_over_pool(matrix, params, rng, global_dist, pool, groups);
+    return groups;
+  }
 
-    auto current_kld = [&] {
-      std::vector<double> counts(matrix.num_labels(), 0.0);
-      for (auto c : group) {
-        const auto row = matrix.row(c);
-        for (std::size_t j = 0; j < counts.size(); ++j)
-          counts[j] += static_cast<double>(row[j]);
-      }
-      return util::kl_divergence(counts, global_dist);
-    };
-
-    while ((current_kld() > params.kld_threshold ||
-            group.size() < params.min_group_size) &&
-           !pool.empty()) {
-      double best = std::numeric_limits<double>::infinity();
-      std::size_t best_pos = 0;
-      for (std::size_t pos = 0; pos < pool.size(); ++pos) {
-        const double kld = group_kld(matrix, group, pool[pos], global_dist);
-        if (kld < best) {
-          best = kld;
-          best_pos = pos;
-        }
-      }
-      if (best < current_kld() || group.size() < params.min_group_size) {
-        group.push_back(pool[best_pos]);
-        pool.erase(pool.begin() + static_cast<std::ptrdiff_t>(best_pos));
-      } else {
-        break;
-      }
-    }
-    groups.push_back(std::move(group));
+  rng.shuffle(pool);
+  std::vector<std::size_t> window_pool;
+  window_pool.reserve(window);
+  for (std::size_t start = 0; start < n; start += window) {
+    const std::size_t end = std::min(n, start + window);
+    window_pool.assign(pool.begin() + static_cast<std::ptrdiff_t>(start),
+                       pool.begin() + static_cast<std::ptrdiff_t>(end));
+    greedy_over_pool(matrix, params, rng, global_dist, window_pool, groups);
   }
   return groups;
 }

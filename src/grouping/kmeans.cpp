@@ -7,9 +7,9 @@
 namespace groupfel::grouping {
 
 namespace {
-double sq_dist(const std::vector<double>& a, const std::vector<double>& b) {
+double sq_dist(const double* a, const double* b, std::size_t dim) {
   double s = 0.0;
-  for (std::size_t i = 0; i < a.size(); ++i) {
+  for (std::size_t i = 0; i < dim; ++i) {
     const double d = a[i] - b[i];
     s += d * d;
   }
@@ -17,37 +17,41 @@ double sq_dist(const std::vector<double>& a, const std::vector<double>& b) {
 }
 }  // namespace
 
-KMeansResult kmeans(const std::vector<std::vector<double>>& points,
+KMeansResult kmeans(std::span<const double> flat, std::size_t dim,
                     std::size_t k, runtime::Rng& rng, std::size_t max_iters) {
-  const std::size_t n = points.size();
+  if (dim == 0) throw std::invalid_argument("kmeans: zero dimension");
+  if (flat.size() % dim != 0)
+    throw std::invalid_argument("kmeans: flat size not row-divisible");
+  const std::size_t n = flat.size() / dim;
   if (n == 0) throw std::invalid_argument("kmeans: no points");
   if (k == 0) throw std::invalid_argument("kmeans: k == 0");
   k = std::min(k, n);
-  const std::size_t dim = points[0].size();
-  for (const auto& p : points)
-    if (p.size() != dim) throw std::invalid_argument("kmeans: ragged points");
+  const auto point = [&](std::size_t i) { return flat.data() + i * dim; };
 
   KMeansResult res;
   res.centroids.reserve(k);
+  const auto push_centroid = [&](std::size_t i) {
+    res.centroids.emplace_back(point(i), point(i) + dim);
+  };
 
   // k-means++ seeding.
-  res.centroids.push_back(points[rng.next_below(n)]);
+  push_centroid(rng.next_below(n));
   std::vector<double> d2(n, 0.0);
   while (res.centroids.size() < k) {
     double total = 0.0;
     for (std::size_t i = 0; i < n; ++i) {
       double best = std::numeric_limits<double>::infinity();
       for (const auto& c : res.centroids)
-        best = std::min(best, sq_dist(points[i], c));
+        best = std::min(best, sq_dist(point(i), c.data(), dim));
       d2[i] = best;
       total += best;
     }
     if (total <= 0.0) {
       // All remaining points coincide with centroids; pick arbitrarily.
-      res.centroids.push_back(points[rng.next_below(n)]);
+      push_centroid(rng.next_below(n));
       continue;
     }
-    res.centroids.push_back(points[rng.categorical(d2)]);
+    push_centroid(rng.categorical(d2));
   }
 
   res.assignment.assign(n, 0);
@@ -58,7 +62,7 @@ KMeansResult kmeans(const std::vector<std::vector<double>>& points,
       double best = std::numeric_limits<double>::infinity();
       std::size_t best_c = 0;
       for (std::size_t c = 0; c < res.centroids.size(); ++c) {
-        const double d = sq_dist(points[i], res.centroids[c]);
+        const double d = sq_dist(point(i), res.centroids[c].data(), dim);
         if (d < best) {
           best = d;
           best_c = c;
@@ -77,12 +81,13 @@ KMeansResult kmeans(const std::vector<std::vector<double>>& points,
     std::vector<std::size_t> counts(res.centroids.size(), 0);
     for (std::size_t i = 0; i < n; ++i) {
       ++counts[res.assignment[i]];
-      for (std::size_t d = 0; d < dim; ++d)
-        sums[res.assignment[i]][d] += points[i][d];
+      const double* p = point(i);
+      for (std::size_t d = 0; d < dim; ++d) sums[res.assignment[i]][d] += p[d];
     }
     for (std::size_t c = 0; c < res.centroids.size(); ++c) {
       if (counts[c] == 0) {
-        res.centroids[c] = points[rng.next_below(n)];
+        const double* p = point(rng.next_below(n));
+        res.centroids[c].assign(p, p + dim);
         continue;
       }
       for (std::size_t d = 0; d < dim; ++d)
@@ -92,8 +97,22 @@ KMeansResult kmeans(const std::vector<std::vector<double>>& points,
 
   res.inertia = 0.0;
   for (std::size_t i = 0; i < n; ++i)
-    res.inertia += sq_dist(points[i], res.centroids[res.assignment[i]]);
+    res.inertia +=
+        sq_dist(point(i), res.centroids[res.assignment[i]].data(), dim);
   return res;
+}
+
+KMeansResult kmeans(const std::vector<std::vector<double>>& points,
+                    std::size_t k, runtime::Rng& rng, std::size_t max_iters) {
+  if (points.empty()) throw std::invalid_argument("kmeans: no points");
+  const std::size_t dim = points[0].size();
+  std::vector<double> flat;
+  flat.reserve(points.size() * dim);
+  for (const auto& p : points) {
+    if (p.size() != dim) throw std::invalid_argument("kmeans: ragged points");
+    flat.insert(flat.end(), p.begin(), p.end());
+  }
+  return kmeans(flat, dim, k, rng, max_iters);
 }
 
 }  // namespace groupfel::grouping

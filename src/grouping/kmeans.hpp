@@ -3,6 +3,7 @@
 // Lloyd iterations with an empty-cluster reseed rule.
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "runtime/rng.hpp"
@@ -16,8 +17,17 @@ struct KMeansResult {
   std::size_t iterations = 0;
 };
 
-/// Clusters `points` (n x dim) into k clusters. `max_iters` bounds Lloyd
-/// iterations; convergence is detected when no assignment changes.
+/// Clusters n points of dimension `dim`, stored row-major in `flat`
+/// (flat[i * dim + j]), into k clusters. `max_iters` bounds Lloyd
+/// iterations; convergence is detected when no assignment changes. The flat
+/// layout is the primary entry point: a million-point input is one
+/// allocation and streams through the distance scans in cache order.
+[[nodiscard]] KMeansResult kmeans(std::span<const double> flat,
+                                  std::size_t dim, std::size_t k,
+                                  runtime::Rng& rng,
+                                  std::size_t max_iters = 100);
+
+/// Nested-row convenience wrapper (copies into the flat layout).
 [[nodiscard]] KMeansResult kmeans(const std::vector<std::vector<double>>& points,
                                   std::size_t k, runtime::Rng& rng,
                                   std::size_t max_iters = 100);

@@ -73,20 +73,93 @@ std::vector<double> sampling_probabilities(SamplingMethod method,
   return p;
 }
 
+void sampling_probabilities_into(SamplingMethod method,
+                                 std::span<const double> group_covs,
+                                 std::vector<double>& out, double cov_floor) {
+  GF_CHECK(!group_covs.empty(), "sampling_probabilities_into: no groups");
+  GF_CHECK(cov_floor > 0.0,
+           "sampling_probabilities_into: cov_floor must be > 0");
+  const std::size_t n = group_covs.size();
+  out.resize(n);
+
+  if (method == SamplingMethod::kRandom) {
+    std::fill(out.begin(), out.end(), 1.0 / static_cast<double>(n));
+    check_probability_vector(out, "sampling_probabilities_into");
+    return;
+  }
+
+  // One pass: weight each group and accumulate the normalizer with Kahan
+  // compensation (a naive sum over 10^5+ groups loses enough mass to trip
+  // the invariant check below). ESRCoV rescales the running sum whenever a
+  // new maximum exponent appears — the streaming form of the max shift.
+  double total = 0.0, comp = 0.0, shift = 0.0;
+  const auto accumulate = [&](double v) {
+    const double y = v - comp;
+    const double t = total + y;
+    comp = (t - total) - y;
+    total = t;
+  };
+  for (std::size_t i = 0; i < n; ++i) {
+    GF_CHECK(group_covs[i] >= 0.0,
+             "sampling_probabilities_into: negative CoV ", group_covs[i],
+             " for group ", i);
+    const double x = 1.0 / std::max(group_covs[i], cov_floor);
+    double w = 0.0;
+    switch (method) {
+      case SamplingMethod::kRCov:
+        w = x;
+        break;
+      case SamplingMethod::kSRCov:
+        w = x * x;
+        break;
+      case SamplingMethod::kESRCov: {
+        const double e = x * x;
+        if (e > shift) {
+          // Re-base the running sum (and its compensation) to the new max.
+          const double scale = std::exp(shift - e);
+          total *= scale;
+          comp *= scale;
+          shift = e;
+        }
+        // out temporarily stores the exponent; normalized below.
+        out[i] = e;
+        accumulate(std::exp(e - shift));
+        continue;
+      }
+      case SamplingMethod::kRandom:
+        break;  // handled above
+    }
+    out[i] = w;
+    accumulate(w);
+  }
+  GF_CHECK(total > 0.0 && std::isfinite(total),
+           "sampling_probabilities_into: degenerate normalizer ", total);
+  if (method == SamplingMethod::kESRCov) {
+    for (auto& v : out) v = std::exp(v - shift) / total;
+  } else {
+    for (auto& v : out) v /= total;
+  }
+  check_probability_vector(out, "sampling_probabilities_into");
+}
+
+void check_probability_vector(std::span<const double> p, const char* where) {
+  double mass = 0.0;
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    GF_CHECK(std::isfinite(p[i]), where, ": probability ", p[i], " at ", i,
+             " is not finite");
+    GF_CHECK(p[i] >= 0.0, where, ": negative probability ", p[i], " at ", i);
+    mass += p[i];
+  }
+  GF_CHECK(p.empty() || std::abs(mass - 1.0) < 1e-6, where,
+           ": probabilities sum to ", mass, ", not 1");
+}
+
 std::vector<std::size_t> sample_groups(std::span<const double> p,
                                        std::size_t s, runtime::Rng& rng) {
   GF_CHECK(s <= p.size(), "sample_groups: s = ", s, " exceeds ", p.size(),
            " groups");
 #if GROUPFEL_DEBUG_CHECKS
-  {
-    double mass = 0.0;
-    for (double v : p) {
-      GF_DCHECK(v >= 0.0, "sample_groups: negative probability ", v);
-      mass += v;
-    }
-    GF_DCHECK(std::abs(mass - 1.0) < 1e-6,
-              "sample_groups: probabilities sum to ", mass, ", not 1");
-  }
+  check_probability_vector(p, "sample_groups");
 #endif
   std::vector<double> weights(p.begin(), p.end());
   std::vector<std::size_t> chosen;

@@ -29,6 +29,22 @@ enum class SamplingMethod { kRandom, kRCov, kSRCov, kESRCov };
     SamplingMethod method, std::span<const double> group_covs,
     double cov_floor = 0.05);
 
+/// Streaming Eq. 34 for fleet-scale group counts: writes p into `out`
+/// (reusing its storage across regroupings) in one O(n) weight pass with a
+/// Kahan-compensated normalizer; ESRCoV keeps the overflow-free max shift
+/// via an online rescale of the running sum instead of a separate max scan.
+/// The result is GF_CHECKed against the probability-vector invariant below.
+void sampling_probabilities_into(SamplingMethod method,
+                                 std::span<const double> group_covs,
+                                 std::vector<double>& out,
+                                 double cov_floor = 0.05);
+
+/// The PR-2 invariant set, extended to probability vectors: every entry
+/// finite and non-negative, total mass 1 within tolerance. GF_CHECKs (always
+/// on) with `where` naming the entry point; shared by the Eq. 34 producers
+/// and the sample_groups consumer so the contract lives in one place.
+void check_probability_vector(std::span<const double> p, const char* where);
+
 /// Draws `s` distinct group indices with probabilities proportional to `p`
 /// (sequential weighted draws without replacement).
 [[nodiscard]] std::vector<std::size_t> sample_groups(std::span<const double> p,

@@ -20,7 +20,7 @@ ExperimentSpec tiny_spec() {
 
 TEST(Experiment, BuildsConsistentTopology) {
   const Experiment exp = build_experiment(tiny_spec());
-  EXPECT_EQ(exp.topology.shards.size(), 12u);
+  EXPECT_EQ(exp.topology.clients.shards().size(), 12u);
   EXPECT_EQ(exp.topology.edges.size(), 3u);
   EXPECT_EQ(exp.topology.test_set->size(), 100u);
   ASSERT_TRUE(exp.topology.model_factory);
@@ -32,11 +32,11 @@ TEST(Experiment, DeterministicInSeed) {
   ExperimentSpec spec = tiny_spec();
   const Experiment a = build_experiment(spec);
   const Experiment b = build_experiment(spec);
-  for (std::size_t i = 0; i < a.topology.shards.size(); ++i) {
-    ASSERT_EQ(a.topology.shards[i].size(), b.topology.shards[i].size());
-    for (std::size_t j = 0; j < a.topology.shards[i].size(); ++j)
-      EXPECT_EQ(a.topology.shards[i].indices()[j],
-                b.topology.shards[i].indices()[j]);
+  for (std::size_t i = 0; i < a.topology.clients.shards().size(); ++i) {
+    ASSERT_EQ(a.topology.clients.shards()[i].size(), b.topology.clients.shards()[i].size());
+    for (std::size_t j = 0; j < a.topology.clients.shards()[i].size(); ++j)
+      EXPECT_EQ(a.topology.clients.shards()[i].indices()[j],
+                b.topology.clients.shards()[i].indices()[j]);
   }
 }
 
@@ -46,14 +46,14 @@ TEST(Experiment, SeedChangesPartition) {
   const Experiment a = build_experiment(s1);
   const Experiment b = build_experiment(s2);
   bool any_diff = false;
-  for (std::size_t i = 0; i < a.topology.shards.size() && !any_diff; ++i) {
-    if (a.topology.shards[i].size() != b.topology.shards[i].size()) {
+  for (std::size_t i = 0; i < a.topology.clients.shards().size() && !any_diff; ++i) {
+    if (a.topology.clients.shards()[i].size() != b.topology.clients.shards()[i].size()) {
       any_diff = true;
       break;
     }
-    for (std::size_t j = 0; j < a.topology.shards[i].size(); ++j)
-      if (a.topology.shards[i].indices()[j] !=
-          b.topology.shards[i].indices()[j]) {
+    for (std::size_t j = 0; j < a.topology.clients.shards()[i].size(); ++j)
+      if (a.topology.clients.shards()[i].indices()[j] !=
+          b.topology.clients.shards()[i].indices()[j]) {
         any_diff = true;
         break;
       }

@@ -103,6 +103,57 @@ TEST(CovGrouping, LargerMaxCovGivesSmallerGroups) {
   EXPECT_LE(tight_summary.avg_cov, loose_summary.avg_cov + 1e-9);
 }
 
+TEST(CovGrouping, WindowZeroMatchesClassic) {
+  // greedy_window = 0 must follow the classic whole-pool code path exactly
+  // (same RNG draws, same groups) — the byte-identity contract that keeps
+  // every pre-windowing result reproducible.
+  const auto matrix = skewed_matrix(60, 0.1);
+  GroupingParams classic, windowed;
+  classic.min_group_size = windowed.min_group_size = 5;
+  classic.max_cov = windowed.max_cov = 0.5;
+  windowed.greedy_window = 0;
+  runtime::Rng r1(12), r2(12);
+  EXPECT_EQ(cov_grouping(matrix, classic, r1),
+            cov_grouping(matrix, windowed, r2));
+}
+
+TEST(CovGrouping, WindowedGreedyValidPartition) {
+  // Window smaller than the pool: every window runs Algorithm 2 locally and
+  // the union must still be a valid partition meeting MinGS (tail aside).
+  const auto matrix = skewed_matrix(60, 0.1);
+  GroupingParams params;
+  params.min_group_size = 5;
+  params.max_cov = 0.5;
+  params.greedy_window = 16;
+  runtime::Rng rng(13);
+  const Grouping groups = cov_grouping(matrix, params, rng);
+  EXPECT_NO_THROW(validate_partition(groups, matrix.num_clients()));
+  std::size_t undersized = 0;
+  for (const auto& g : groups) undersized += (g.size() < 5);
+  // At most one undersized tail per 16-client window.
+  EXPECT_LE(undersized, (matrix.num_clients() + 15) / 16);
+}
+
+TEST(KldgGrouping, WindowedGreedyValidPartition) {
+  const auto matrix = skewed_matrix(60, 0.1);
+  GroupingParams params;
+  params.min_group_size = 5;
+  params.greedy_window = 16;
+  runtime::Rng rng(14);
+  const Grouping groups = kldg_grouping(matrix, params, rng);
+  EXPECT_NO_THROW(validate_partition(groups, matrix.num_clients()));
+}
+
+TEST(CovGrouping, WindowLargerThanPoolMatchesClassic) {
+  const auto matrix = skewed_matrix(40, 0.5);
+  GroupingParams classic, windowed;
+  classic.min_group_size = windowed.min_group_size = 5;
+  windowed.greedy_window = 4096;  // n <= window: direct classic path
+  runtime::Rng r1(15), r2(15);
+  EXPECT_EQ(cov_grouping(matrix, classic, r1),
+            cov_grouping(matrix, windowed, r2));
+}
+
 TEST(CovGrouping, SingleClient) {
   const data::LabelMatrix matrix({{3, 1}}, 2);
   GroupingParams params;

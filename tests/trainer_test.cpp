@@ -99,7 +99,7 @@ TEST(Trainer, CostMatchesHandComputation) {
   for (const auto& g : groups) {
     std::vector<std::size_t> counts;
     for (auto cid : g.clients)
-      counts.push_back(exp.topology.shards[cid].size());
+      counts.push_back(exp.topology.clients.data_count(cid));
     expected += model.group_round_cost(counts, cfg.group_rounds,
                                        cfg.local_epochs);
   }
@@ -303,7 +303,7 @@ TEST(Trainer, GroupSummaryIsConsistent) {
   EXPECT_GE(result.grouping.max_size, result.grouping.min_size);
   std::size_t total = 0;
   for (const auto& g : trainer.groups()) total += g.clients.size();
-  EXPECT_EQ(total, exp.topology.shards.size());
+  EXPECT_EQ(total, exp.topology.clients.num_clients());
 }
 
 TEST(Trainer, SamplingProbabilitiesNormalized) {
