@@ -1,0 +1,700 @@
+"""Shared rule framework for groupfel's static-analysis scripts.
+
+`scripts/lint.py` (line-grade invariant lint) and
+`scripts/determinism_analyzer.py` (AST-grade concurrency/determinism
+analysis) are thin drivers over this module. It provides:
+
+  * `Rule` / `Finding`      — the rule-class protocol: every check is a class
+                              with a `name`, a long-form `explain` string
+                              (surfaced via `--explain <rule>`), and a
+                              `check(ctx)` method.
+  * `FileContext`           — per-file parsed state: raw text, a
+                              comment/string-stripped mirror with identical
+                              line structure, and cached structural indexes
+                              (namespace-scope lines, lock scopes, class
+                              member tables) shared by all rules.
+  * suppression accounting  — `// lint:allow(<rule>)` on the offending line
+                              (or the line directly above, for multi-line
+                              declarations) downgrades a finding to
+                              "suppressed"; suppressed findings are counted
+                              per rule and per file and reported, so every
+                              allow is visible in CI output and diffs.
+  * JSON findings output    — `--json <path|->` emits a machine-readable
+                              report for CI annotation and artifacts.
+  * structural C++ helpers  — brace-aware scanners shared by both tools:
+                              lock-scope tracking (which mutexes are held on
+                              each line), class member tables with
+                              GF_GUARDED_BY annotations, and lambda body
+                              extraction.
+
+The structural helpers are deliberately not a full parser: they strip
+comments/strings, then track braces and a handful of declaration shapes.
+That is exact enough for this codebase's style (one declaration per line,
+trailing-underscore members, RAII lock guards) and it is the documented
+degraded mode when libclang is absent — the analyzer upgrades the two
+AST-sensitive rules to real libclang ASTs when available.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import re
+import sys
+from pathlib import Path
+from typing import Iterable
+
+CPP_SUFFIXES = {".cpp", ".hpp", ".h", ".cc", ".cxx"}
+
+# Deliberately-broken analyzer fixtures live here; no tool walks them unless
+# they are passed explicitly (the self-test does exactly that).
+EXCLUDED_PARTS = ("tests/analysis/fixtures",)
+
+ALLOW_RE = re.compile(r"//\s*lint:allow\(([\w,-]+)\)")
+
+# ---------------------------------------------------------------------------
+# Text preprocessing
+# ---------------------------------------------------------------------------
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blanks comments and string/char literals, preserving line structure."""
+    out: list[str] = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "/" and nxt == "/":
+            j = text.find("\n", i)
+            j = n if j == -1 else j
+            out.append(" " * (j - i))
+            i = j
+        elif c == "/" and nxt == "*":
+            j = text.find("*/", i + 2)
+            j = n - 2 if j == -1 else j
+            seg = text[i : j + 2]
+            out.append("".join(ch if ch == "\n" else " " for ch in seg))
+            i = j + 2
+        elif c == "R" and text[i : i + 3] == 'R"(':
+            j = text.find(')"', i + 3)
+            j = n - 2 if j == -1 else j
+            seg = text[i : j + 2]
+            out.append("".join(ch if ch == "\n" else " " for ch in seg))
+            i = j + 2
+        elif c in "\"'":
+            quote = c
+            j = i + 1
+            while j < n and text[j] != quote:
+                j += 2 if text[j] == "\\" else 1
+            seg = text[i : j + 1]
+            out.append("".join(ch if ch == "\n" else " " for ch in seg))
+            i = j + 1
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def namespace_scope_lines(text: str) -> set[int]:
+    """1-based line numbers whose enclosing braces are all namespace blocks."""
+    scope_lines: set[int] = set()
+    stack: list[bool] = []  # True = namespace block
+    line = 1
+    last_boundary = 0  # index just past the previous {, }, or ;
+    for i, c in enumerate(text):
+        if c == "\n":
+            line += 1
+        elif c == "{":
+            head = text[last_boundary:i]
+            is_ns = re.search(r"\bnamespace\b[^;{}()]*$", head) is not None
+            stack.append(is_ns)
+            last_boundary = i + 1
+        elif c == "}":
+            if stack:
+                stack.pop()
+            last_boundary = i + 1
+        elif c == ";":
+            last_boundary = i + 1
+        if c == "\n" and all(stack):
+            scope_lines.add(line)
+    return scope_lines
+
+
+# ---------------------------------------------------------------------------
+# Structural C++ scanners (shared between lint and the analyzer)
+# ---------------------------------------------------------------------------
+
+# RAII guard declarations the lock-scope tracker understands. The guarded
+# mutex is the FIRST constructor argument; `state->done_mu` normalizes to
+# `done_mu`.
+_LOCK_DECL_RE = re.compile(
+    r"\b(?:util::)?(?:MutexLock|std::lock_guard|std::unique_lock|"
+    r"std::scoped_lock)\s*(?:<[^>;]*>)?\s+\w+\s*[({]\s*([\w.>\-]+)"
+)
+_REQUIRES_RE = re.compile(r"\bGF_REQUIRES\(\s*([\w.>\-,\s]+?)\s*\)")
+_CLASS_HEAD_RE = re.compile(
+    r"\b(class|struct)\s+(?:GF_\w+\((?:[^()]|\([^)]*\))*\)\s*)?(\w+)"
+    r"[^;{}()]*$"
+)
+_CTOR_HEAD_RE = re.compile(r"\b(\w+)::(~?)(\w+)\s*\([^;{}]*\)[^;{}]*$")
+
+
+def _mutex_base(name: str) -> str:
+    """`state->done_mu` / `foo.mu_` → the member name the annotation uses."""
+    return re.split(r"->|\.", name)[-1]
+
+
+@dataclasses.dataclass
+class MemberDecl:
+    name: str
+    line: int
+    decl_text: str
+    guarded_by: str | None
+    is_lock_type: bool  # Mutex / CondVar / std lock types
+    is_exempt: bool  # const / static / atomic / lock types
+
+
+@dataclasses.dataclass
+class ClassInfo:
+    name: str
+    line: int
+    end_line: int
+    members: list[MemberDecl]
+
+    @property
+    def mutexes(self) -> list[str]:
+        return [
+            m.name
+            for m in self.members
+            if m.is_lock_type and "CondVar" not in m.decl_text
+            and "condition_variable" not in m.decl_text
+        ]
+
+
+_EXEMPT_TYPE_RE = re.compile(
+    r"\b(Mutex|CondVar|std::mutex|std::shared_mutex|std::recursive_mutex|"
+    r"std::condition_variable(?:_any)?|std::once_flag)\b"
+)
+_LOCK_TYPE_RE = _EXEMPT_TYPE_RE
+_EXEMPT_QUAL_RE = re.compile(
+    r"\b(static|constexpr|constinit|std::atomic)\b|\bconst\b(?!\s*[*&]*\s*$)"
+)
+_MEMBER_SKIP_RE = re.compile(
+    r"^\s*(public|private|protected|using|typedef|friend|template|"
+    r"static_assert|enum|class|struct|return|if|for|while|switch|case|"
+    r"#|GF_|//)"
+)
+_GUARDED_BY_RE = re.compile(r"GF_GUARDED_BY\(\s*([\w.>\-]+)\s*\)")
+
+
+def parse_classes(clean: str) -> list[ClassInfo]:
+    """Class/struct member tables from the stripped text.
+
+    Walks braces; for every class body, collects the simple declaration
+    statements at member depth, recording name, GF_GUARDED_BY annotation,
+    and exemption category. Method definitions (statements whose declarator
+    ends in `)` or a trailing qualifier) are skipped.
+    """
+    classes: list[ClassInfo] = []
+    # stack entries: (kind, ClassInfo|None, depth_at_open)
+    stack: list[tuple[str, ClassInfo | None]] = []
+    line = 1
+    last_boundary = 0
+    stmt_start_line = 1
+    stmt_parts: list[str] = []
+
+    def current_class() -> ClassInfo | None:
+        for kind, info in reversed(stack):
+            if kind == "class":
+                return info
+            if kind == "other":
+                return None  # inside a method body / nested block
+        return None
+
+    def flush_statement(end_line: int) -> None:
+        info = current_class()
+        stmt = " ".join(p.strip() for p in stmt_parts if p.strip())
+        stmt_parts.clear()
+        # `public: Mutex mu_;` — the access specifier shares the statement.
+        stmt = re.sub(r"^\s*(?:public|private|protected)\s*:\s*", "", stmt)
+        if info is None or not stmt or _MEMBER_SKIP_RE.match(stmt):
+            return
+        guarded = None
+        m = _GUARDED_BY_RE.search(stmt)
+        if m:
+            guarded = _mutex_base(m.group(1))
+            stmt_no_ann = _GUARDED_BY_RE.sub(" ", stmt)
+        else:
+            stmt_no_ann = stmt
+        # Drop initializer ("= ..." or "{...}") to expose the declarator.
+        decl = re.split(r"=", stmt_no_ann, maxsplit=1)[0]
+        decl = re.sub(r"\{[^{}]*\}\s*$", " ", decl).strip()
+        decl = re.sub(r"\bGF_\w+\((?:[^()]|\([^)]*\))*\)", " ", decl).strip()
+        if not decl or decl.endswith((")", "&", "*", ">", ":")):
+            return  # method decl / base clause / malformed
+        nm = re.search(r"([A-Za-z_]\w*)\s*(?:\[\s*\w*\s*\])?$", decl)
+        if nm is None:
+            return
+        name = nm.group(1)
+        type_text = decl[: nm.start(1)]
+        if "(" in type_text and "<" not in type_text.split("(")[0]:
+            return  # function-ish declarator
+        if not type_text.strip():
+            return  # lone identifier (e.g. enum value) — not a member decl
+        is_lock = bool(_LOCK_TYPE_RE.search(type_text))
+        exempt = is_lock or bool(_EXEMPT_QUAL_RE.search(decl))
+        # Anchor at the terminating ';' — exact for the one-line declaration
+        # style this tree uses, and where lint:allow comments live.
+        info.members.append(
+            MemberDecl(name, end_line, stmt, guarded, is_lock, exempt))
+
+    i, n = 0, len(clean)
+    while i < n:
+        c = clean[i]
+        if c == "\n":
+            line += 1
+        elif c == "{":
+            head = clean[last_boundary:i]
+            cm = _CLASS_HEAD_RE.search(head)
+            if (cm is None
+                    and re.search(r"[\w>\]=]\s*$", head)
+                    and not re.search(
+                        r"\b(namespace[\w\s:]*|extern\s*|else|do|try)\s*$",
+                        head)):
+                # Brace initializer (`std::atomic<int> x{0}` / `= {...}`):
+                # part of the statement, not a block — skip it balanced.
+                depth, j = 0, i
+                while j < n:
+                    if clean[j] == "{":
+                        depth += 1
+                    elif clean[j] == "}":
+                        depth -= 1
+                        if depth == 0:
+                            break
+                    j += 1
+                stmt_parts.append(head)
+                line += clean.count("\n", i, j)
+                i = j
+                last_boundary = j + 1
+            elif cm:
+                info = ClassInfo(cm.group(2), line, -1, [])
+                classes.append(info)
+                stack.append(("class", info))
+                last_boundary = i + 1
+                stmt_parts.clear()
+                stmt_start_line = line
+            else:
+                stack.append(("other", None))
+                last_boundary = i + 1
+                stmt_parts.clear()
+                stmt_start_line = line
+        elif c == "}":
+            if stack:
+                kind, info = stack.pop()
+                if kind == "class" and info is not None:
+                    info.end_line = line
+            last_boundary = i + 1
+            stmt_parts.clear()
+            stmt_start_line = line
+        elif c == ";":
+            stmt_parts.append(clean[last_boundary:i])
+            flush_statement(line)
+            last_boundary = i + 1
+            stmt_start_line = line + (1 if clean[i + 1 : i + 2] == "\n" else 0)
+        i += 1
+    return classes
+
+
+def lock_scope_by_line(clean: str) -> dict[int, frozenset[str]]:
+    """Line → set of mutex names provably held on that line.
+
+    The special name "*" means "exempt scope": constructor/destructor bodies
+    (single-threaded by construction) and their initializer-list heads.
+    A lock becomes active at its RAII declaration and dies with the
+    enclosing block, matching lock_guard/MutexLock semantics. Functions
+    annotated GF_REQUIRES(mu) hold `mu` for their whole body.
+    """
+    result: dict[int, set[str]] = {}
+    # Each stack frame: set of lock names that die when the block closes.
+    stack: list[set[str]] = []
+    frame_kinds: list[str] = []  # "class" | "other", to pop class_names
+    class_names: list[str] = []  # enclosing class names for ctor detection
+    line = 1
+    last_boundary = 0
+    pending_head_lines: list[int] = []  # lines of the current head segment
+
+    def active() -> frozenset[str]:
+        out: set[str] = set()
+        for frame in stack:
+            out |= frame
+        return frozenset(out)
+
+    def mark(ln: int) -> None:
+        result.setdefault(ln, set()).update(active())
+
+    i, n = 0, len(clean)
+    while i < n:
+        c = clean[i]
+        if c == "\n":
+            mark(line)
+            pending_head_lines.append(line)
+            line += 1
+        elif c == "{":
+            head = clean[last_boundary:i]
+            frame: set[str] = set()
+            cm = _CLASS_HEAD_RE.search(head)
+            ctor = _CTOR_HEAD_RE.search(head)
+            inline_ctor = None
+            if class_names and not cm:
+                inline_ctor = re.search(
+                    r"(?:explicit\s+)?~?" + re.escape(class_names[-1]) +
+                    r"\s*\([^;{}]*\)[^;{}]*$", head)
+            if cm:
+                class_names.append(cm.group(2))
+                frame_kind = "class"
+            else:
+                frame_kind = "other"
+            if ctor and ctor.group(1) == ctor.group(3) or inline_ctor:
+                frame.add("*")
+                # The head (initializer list) is part of the ctor too.
+                for ln in pending_head_lines[-40:]:
+                    result.setdefault(ln, set()).add("*")
+            for rm in _REQUIRES_RE.finditer(head):
+                for mu in rm.group(1).split(","):
+                    frame.add(_mutex_base(mu.strip()))
+            stack.append(frame)
+            mark(line)  # one-line blocks: record before any same-line `}` pops
+            # Remember whether this frame opened a class, to pop the name.
+            frame_kinds.append(frame_kind)
+            last_boundary = i + 1
+            pending_head_lines = []
+        elif c == "}":
+            mark(line)
+            if stack:
+                stack.pop()
+            if frame_kinds:
+                if frame_kinds.pop() == "class" and class_names:
+                    class_names.pop()
+            last_boundary = i + 1
+            pending_head_lines = []
+        elif c == ";":
+            stmt = clean[last_boundary:i]
+            lm = _LOCK_DECL_RE.search(stmt)
+            if lm and stack:
+                stack[-1].add(_mutex_base(lm.group(1)))
+                mark(line)
+            last_boundary = i + 1
+            pending_head_lines = []
+        i += 1
+    mark(line)
+    return {ln: frozenset(s) for ln, s in result.items()}
+
+
+@dataclasses.dataclass
+class LambdaBody:
+    """An inline lambda literal: parameter list text + body span."""
+
+    params: str
+    start_line: int  # line of the body's opening '{' (anchor for body math)
+    end_line: int
+    body: str
+    offset: int  # index of the opening '[' in the stripped text
+
+
+def find_lambdas(clean: str) -> list[LambdaBody]:
+    """All lambda literals `[caps](params) ... { body }` in the text."""
+    out: list[LambdaBody] = []
+    for m in re.finditer(r"\[[^\[\]]*\]\s*(\(([^()]*(?:\([^()]*\)[^()]*)*)\))?\s*(?:mutable\s*)?(?:->\s*[\w:<>,&*\s]+?)?\s*\{", clean):
+        params = m.group(2) or ""
+        open_idx = m.end() - 1
+        depth = 0
+        j = open_idx
+        while j < len(clean):
+            if clean[j] == "{":
+                depth += 1
+            elif clean[j] == "}":
+                depth -= 1
+                if depth == 0:
+                    break
+            j += 1
+        body = clean[open_idx + 1 : j]
+        out.append(
+            LambdaBody(
+                params,
+                clean.count("\n", 0, open_idx) + 1,
+                clean.count("\n", 0, j) + 1,
+                body,
+                m.start(),
+            ))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Findings, rules, contexts
+# ---------------------------------------------------------------------------
+
+
+@dataclasses.dataclass
+class Finding:
+    path: Path
+    line: int
+    rule: str
+    message: str
+    suppressed: bool = False
+
+    def __str__(self) -> str:
+        tag = " (suppressed)" if self.suppressed else ""
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}{tag}"
+
+    def to_json(self, root: Path | None = None) -> dict:
+        p = self.path
+        if root is not None:
+            try:
+                p = p.resolve().relative_to(root.resolve())
+            except ValueError:
+                pass
+        return {
+            "file": p.as_posix(),
+            "line": self.line,
+            "rule": self.rule,
+            "message": self.message,
+            "suppressed": self.suppressed,
+            "level": "error",
+        }
+
+
+class FileContext:
+    """Per-file parsed state shared by every rule."""
+
+    def __init__(self, path: Path):
+        self.path = path
+        self.raw = path.read_text(encoding="utf-8", errors="replace")
+        self.raw_lines = self.raw.splitlines()
+        self.clean = strip_comments_and_strings(self.raw)
+        self.clean_lines = self.clean.splitlines()
+        self._ns_lines: set[int] | None = None
+        self._classes: list[ClassInfo] | None = None
+        self._locks: dict[int, frozenset[str]] | None = None
+        self._lambdas: list[LambdaBody] | None = None
+
+    @property
+    def in_src(self) -> bool:
+        return "src" in self.path.parts
+
+    @property
+    def ns_scope_lines(self) -> set[int]:
+        if self._ns_lines is None:
+            self._ns_lines = namespace_scope_lines(self.clean)
+        return self._ns_lines
+
+    @property
+    def classes(self) -> list[ClassInfo]:
+        if self._classes is None:
+            self._classes = parse_classes(self.clean)
+        return self._classes
+
+    @property
+    def locks(self) -> dict[int, frozenset[str]]:
+        if self._locks is None:
+            self._locks = lock_scope_by_line(self.clean)
+        return self._locks
+
+    @property
+    def lambdas(self) -> list[LambdaBody]:
+        if self._lambdas is None:
+            self._lambdas = find_lambdas(self.clean)
+        return self._lambdas
+
+    def allowed(self, lineno: int, rule: str) -> bool:
+        """True if `// lint:allow(rule)` covers this line.
+
+        The allow comment may sit on the finding line itself or on the line
+        directly above it (for declarations whose line is already full).
+        """
+        for ln in (lineno, lineno - 1):
+            if 1 <= ln <= len(self.raw_lines):
+                m = ALLOW_RE.search(self.raw_lines[ln - 1])
+                if m and rule in m.group(1).split(","):
+                    return True
+        return False
+
+
+class Rule:
+    """Base class: subclasses set `name`, `explain`, and override check()."""
+
+    name = ""
+    explain = ""
+
+    def check(self, ctx: FileContext) -> list[Finding]:
+        raise NotImplementedError
+
+    def finding(self, ctx: FileContext, lineno: int, msg: str) -> Finding:
+        return Finding(ctx.path, lineno, self.name, msg,
+                       suppressed=ctx.allowed(lineno, self.name))
+
+
+# ---------------------------------------------------------------------------
+# Driver plumbing
+# ---------------------------------------------------------------------------
+
+
+def collect_files(root: Path, dirs: Iterable[str],
+                  explicit: list[Path]) -> list[Path]:
+    if explicit:
+        return [p for p in explicit if p.suffix in CPP_SUFFIXES]
+    files = [
+        p
+        for d in dirs
+        for p in sorted((root / d).rglob("*"))
+        if p.suffix in CPP_SUFFIXES
+    ]
+    return [
+        p for p in files
+        if not any(x in p.as_posix() for x in EXCLUDED_PARTS)
+    ]
+
+
+def add_common_args(ap: argparse.ArgumentParser) -> None:
+    ap.add_argument(
+        "--root", type=Path,
+        default=Path(__file__).resolve().parents[1],
+        help="repository root (default: the checkout containing the script)")
+    ap.add_argument(
+        "--json", type=str, default=None, metavar="PATH",
+        help="write findings as JSON to PATH ('-' = stdout) for CI "
+             "annotation")
+    ap.add_argument(
+        "--explain", type=str, default=None, metavar="RULE",
+        help="print the rationale and remediation for RULE (or 'all') and "
+             "exit")
+    ap.add_argument("paths", nargs="*", type=Path,
+                    help="explicit files to check (default: walk the tree)")
+
+
+def explain_rules(rules: list[Rule], which: str) -> int:
+    known = {r.name: r for r in rules}
+    if which != "all" and which not in known:
+        print(f"unknown rule '{which}'; rules: {', '.join(sorted(known))}",
+              file=sys.stderr)
+        return 2
+    for r in rules:
+        if which in ("all", r.name):
+            print(f"== {r.name} ==")
+            print(r.explain.strip())
+            print()
+    return 0
+
+
+def report(tool: str, root: Path, files: list[Path], rules: list[Rule],
+           findings: list[Finding], json_out: str | None,
+           extra: dict | None = None) -> int:
+    active = [f for f in findings if not f.suppressed]
+    suppressed = [f for f in findings if f.suppressed]
+
+    for f in active:
+        print(f)
+
+    # Per-rule / per-file suppression accounting: every allow is visible.
+    if suppressed:
+        counts: dict[str, dict[str, int]] = {}
+        for f in suppressed:
+            counts.setdefault(f.rule, {}).setdefault(str(f.path), 0)
+            counts[f.rule][str(f.path)] += 1
+        print(f"{tool}: {len(suppressed)} suppression(s) in effect:")
+        for rule in sorted(counts):
+            for fname, cnt in sorted(counts[rule].items()):
+                print(f"  [{rule}] {fname}: {cnt}")
+
+    if json_out is not None:
+        payload = {
+            "tool": tool,
+            "files_scanned": len(files),
+            "rules": [r.name for r in rules],
+            "findings": [f.to_json(root) for f in active],
+            "suppressed": [f.to_json(root) for f in suppressed],
+        }
+        if extra:
+            payload.update(extra)
+        text = json.dumps(payload, indent=2)
+        if json_out == "-":
+            print(text)
+        else:
+            Path(json_out).write_text(text + "\n")
+
+    print(f"{tool}: {len(files)} files, {len(active)} finding(s), "
+          f"{len(suppressed)} suppressed")
+    return 1 if active else 0
+
+# ---------------------------------------------------------------------------
+# Shared rules (used by lint.py as fallback and by determinism_analyzer.py)
+# ---------------------------------------------------------------------------
+
+_UNORDERED_DECL_RE = re.compile(
+    r"\bstd::unordered_(?:map|set|multimap|multiset)\s*<")
+
+
+def unordered_decl_names(clean: str) -> set[str]:
+    """Names declared (variables, members, returns) with unordered types."""
+    names: set[str] = set()
+    for m in _UNORDERED_DECL_RE.finditer(clean):
+        j = m.end() - 1  # at '<'; skip balanced template args
+        depth = 0
+        while j < len(clean):
+            if clean[j] == "<":
+                depth += 1
+            elif clean[j] == ">":
+                depth -= 1
+                if depth == 0:
+                    break
+            j += 1
+        nm = re.match(r"\s*[&*]*\s*([A-Za-z_]\w*)", clean[j + 1 : j + 160])
+        if nm and nm.group(1) != "const":
+            names.add(nm.group(1))
+    return names
+
+
+_RANGE_FOR_RE = re.compile(
+    r"\bfor\s*\([^;()]*?(?<!:):(?!:)\s*([\w.>\-\[\]]+)(?:\(\))?\s*\)")
+_BEGIN_RE = re.compile(r"([\w.>\-\[\]]+)(?:\(\))?\.c?begin\s*\(")
+
+
+def _base_name(expr: str) -> str:
+    last = re.split(r"->|\.", expr)[-1]
+    return re.sub(r"\[.*\]$", "", last)
+
+
+class UnorderedIterationRule(Rule):
+    name = "unordered-iteration"
+    explain = """
+Iterating a std::unordered_map/unordered_set (range-for or .begin()) on a
+simulation path. Unordered-container iteration order depends on hash seeding,
+insertion history, and the standard-library implementation, so any float
+reduction, RNG draw, or client ordering derived from it silently changes
+between runs/platforms — breaking the repo's bit-identical determinism
+contract (ROADMAP: same results for any ThreadPool size).
+Fix: iterate a sorted key vector, use std::map/std::vector, or hoist the
+iteration off the simulation path. Suppress with
+`// lint:allow(unordered-iteration)` plus a justification ONLY where order
+provably cannot reach results (e.g. pure membership counting).
+"""
+
+    def check(self, ctx: FileContext) -> list[Finding]:
+        if not ctx.in_src:
+            return []
+        names = unordered_decl_names(ctx.clean)
+        if not names:
+            return []
+        out: list[Finding] = []
+        for lineno, text in enumerate(ctx.clean_lines, start=1):
+            for pat, what in ((_RANGE_FOR_RE, "range-for over"),
+                              (_BEGIN_RE, ".begin() iteration of")):
+                for m in pat.finditer(text):
+                    if _base_name(m.group(1)) in names:
+                        out.append(self.finding(
+                            ctx, lineno,
+                            f"{what} unordered container "
+                            f"'{m.group(1)}': iteration order is "
+                            "nondeterministic; iterate sorted keys or use an "
+                            "ordered container"))
+        return out

@@ -83,10 +83,19 @@ def main() -> int:
     ap.add_argument("--build-dir", type=Path, required=True,
                     help="build tree containing compile_commands.json")
     ap.add_argument("--jobs", type=int, default=os.cpu_count() or 1)
+    ap.add_argument("--require", action="store_true",
+                    help="fail (exit 1) when no clang-tidy binary is found "
+                         "instead of reporting SKIP — CI sets this so a "
+                         "missing toolchain can never read as a pass")
     args = ap.parse_args()
 
     tidy = find_clang_tidy()
     if tidy is None:
+        if args.require:
+            print("clang_tidy_gate: no clang-tidy binary found but "
+                  "--require is set; failing (the CI image must install "
+                  "clang-tidy)", file=sys.stderr)
+            return 1
         print("clang_tidy_gate: no clang-tidy binary found; SKIP "
               "(install clang-tidy to enforce this gate locally)")
         return SKIP_EXIT

@@ -3,33 +3,28 @@
 
 Registered as the `lint_invariants` ctest (label: lint). Walks src/, bench/,
 and tests/ and fails on violations of the repo's correctness rules, which no
-generic tool checks:
+generic tool checks. Rules are classes over `scripts/analysis_core.py` —
+`--explain <rule>` prints the full rationale for any of them:
 
-  banned-rng        Wall-clock or stateful-global randomness on simulation
-                    paths: rand()/srand(), std::mt19937*, time(),
-                    std::random_device. Simulation code must derive all
-                    randomness from counter-based runtime::Rng streams
-                    (xoshiro256++ seeded via splitmix64) keyed by logical
-                    index, or results stop being reproducible bit-for-bit
-                    across pool sizes (see src/runtime/rng.hpp).
-  global-state      Mutable namespace-scope state that is not const,
-                    std::atomic, a lock type, or thread_local: invisible
-                    cross-thread coupling that the ThreadPool fan-out turns
-                    into races.
-  naked-new         `new` outside an immediate smart-pointer wrap, or any
-                    `delete` expression: ownership the WorkspaceArena /
-                    unique_ptr conventions are supposed to make impossible.
-  const-cast        `const_cast` anywhere under src/ (simulation paths).
-                    Model/Layer expose const `for_each_param` overloads
-                    precisely so flat-parameter export never needs to cast
-                    away constness; a const_cast on a hot path hides a
-                    mutation the aliasing/threading analysis cannot see.
-                    (tests/ may still use it for argv-style fixtures.)
-  include-guard     Headers without `#pragma once`.
+  banned-rng           rand()/mt19937/time()/random_device on simulation
+                       paths (counter-based runtime::Rng only).
+  banned-wallclock     std::chrono::system_clock / high_resolution_clock
+                       under src/ (steady_clock via runtime::Timer only).
+  global-state         Mutable namespace-scope state without a lock type,
+                       std::atomic, or thread_local.
+  naked-new            `new` outside a smart-pointer wrap; any `delete`.
+  const-cast           const_cast under src/.
+  include-guard        Headers without `#pragma once`.
+  unordered-iteration  Iterating std::unordered_{map,set} under src/
+                       (regex fallback of the determinism analyzer's rule,
+                       so the invariant holds even where the analyzer is
+                       skipped).
 
-Suppression: append `// lint:allow(<rule>)` to the offending line with a
-justification nearby (policy in docs/DEVELOPMENT.md). Zero findings is the
-merge bar; the suppression list is part of the diff reviewers see.
+Suppression: append `// lint:allow(<rule>)` to the offending line (or the
+line directly above) with a justification nearby (policy in
+docs/DEVELOPMENT.md). Zero findings is the merge bar; suppressed findings
+are counted per file in the output so every allow is part of the diff
+reviewers see. `--json <path>` emits a machine-readable report for CI.
 """
 
 from __future__ import annotations
@@ -39,208 +34,236 @@ import re
 import sys
 from pathlib import Path
 
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from analysis_core import (  # noqa: E402
+    FileContext,
+    Finding,
+    Rule,
+    UnorderedIterationRule,
+    add_common_args,
+    collect_files,
+    explain_rules,
+    report,
+)
+
 LINT_DIRS = ("src", "bench", "tests")
-CPP_SUFFIXES = {".cpp", ".hpp", ".h", ".cc", ".cxx"}
-
-ALLOW_RE = re.compile(r"//\s*lint:allow\(([\w,-]+)\)")
-
-BANNED_RNG = [
-    (re.compile(r"(?<![\w:])s?rand\s*\("), "rand()/srand()"),
-    (re.compile(r"std::mt19937"), "std::mt19937"),
-    (re.compile(r"(?<![\w.])time\s*\("), "time()"),
-    (re.compile(r"std::random_device"), "std::random_device"),
-    (re.compile(r"std::default_random_engine"), "std::default_random_engine"),
-]
-
-# Namespace-scope declarations with any of these tokens are allowed mutable
-# state: synchronized, thread-confined, or immutable.
-GLOBAL_OK = re.compile(
-    r"\b(const|constexpr|constinit|thread_local|std::atomic|std::mutex|"
-    r"std::shared_mutex|std::recursive_mutex|std::once_flag|"
-    r"std::condition_variable)\b"
-)
-GLOBAL_IGNORE_START = (
-    "using", "typedef", "class", "struct", "enum", "template", "extern",
-    "static_assert", "friend", "namespace", "inline namespace", "return",
-    "public", "private", "protected",
-)
-GLOBAL_DECL = re.compile(r"^(?:static\s+)?[\w:<>,*&\s]+?[\s*&](\w+)\s*(?:=[^;]*|\{[^;]*\})?$")
-
-SMART_WRAP = re.compile(r"(unique_ptr|shared_ptr|make_unique|make_shared)")
-DELETED_FN = re.compile(r"=\s*delete\b|operator\s+delete")
 
 
-def strip_comments_and_strings(text: str) -> str:
-    """Blanks comments and string/char literals, preserving line structure."""
-    out: list[str] = []
-    i, n = 0, len(text)
-    while i < n:
-        c = text[i]
-        nxt = text[i + 1] if i + 1 < n else ""
-        if c == "/" and nxt == "/":
-            j = text.find("\n", i)
-            j = n if j == -1 else j
-            out.append(" " * (j - i))
-            i = j
-        elif c == "/" and nxt == "*":
-            j = text.find("*/", i + 2)
-            j = n - 2 if j == -1 else j
-            seg = text[i : j + 2]
-            out.append("".join(ch if ch == "\n" else " " for ch in seg))
-            i = j + 2
-        elif c == 'R' and text[i : i + 3] == 'R"(':
-            j = text.find(')"', i + 3)
-            j = n - 2 if j == -1 else j
-            seg = text[i : j + 2]
-            out.append("".join(ch if ch == "\n" else " " for ch in seg))
-            i = j + 2
-        elif c in "\"'":
-            quote = c
-            j = i + 1
-            while j < n and text[j] != quote:
-                j += 2 if text[j] == "\\" else 1
-            seg = text[i : j + 1]
-            out.append("".join(ch if ch == "\n" else " " for ch in seg))
-            i = j + 1
-        else:
-            out.append(c)
-            i += 1
-    return "".join(out)
+class BannedRngRule(Rule):
+    name = "banned-rng"
+    explain = """
+Wall-clock or stateful-global randomness on simulation paths: rand()/srand(),
+std::mt19937*, time(), std::random_device, std::default_random_engine.
+Simulation code must derive all randomness from counter-based runtime::Rng
+streams (xoshiro256++ seeded via splitmix64) keyed by logical index — client
+id, cell index, round number — or results stop being reproducible
+bit-for-bit across pool sizes and reruns (see src/runtime/rng.hpp).
+"""
+
+    PATTERNS = [
+        (re.compile(r"(?<![\w:])s?rand\s*\("), "rand()/srand()"),
+        (re.compile(r"std::mt19937"), "std::mt19937"),
+        (re.compile(r"(?<![\w.])time\s*\("), "time()"),
+        (re.compile(r"std::random_device"), "std::random_device"),
+        (re.compile(r"std::default_random_engine"),
+         "std::default_random_engine"),
+    ]
+
+    def check(self, ctx: FileContext) -> list[Finding]:
+        out = []
+        for lineno, text in enumerate(ctx.clean_lines, start=1):
+            for pat, label in self.PATTERNS:
+                if pat.search(text):
+                    out.append(self.finding(
+                        ctx, lineno,
+                        f"{label} on a simulation path; use runtime::Rng "
+                        "(counter-based xoshiro/splitmix) keyed by logical "
+                        "index"))
+        return out
 
 
-def namespace_scope_lines(text: str) -> set[int]:
-    """1-based line numbers whose enclosing braces are all namespace blocks."""
-    scope_lines: set[int] = set()
-    stack: list[bool] = []  # True = namespace block
-    line = 1
-    last_boundary = 0  # index just past the previous {, }, or ;
-    for i, c in enumerate(text):
-        if c == "\n":
-            line += 1
-        elif c == "{":
-            head = text[last_boundary:i]
-            is_ns = re.search(r"\bnamespace\b[^;{}()]*$", head) is not None
-            stack.append(is_ns)
-            last_boundary = i + 1
-        elif c == "}":
-            if stack:
-                stack.pop()
-            last_boundary = i + 1
-        elif c == ";":
-            last_boundary = i + 1
-        if c == "\n" and all(stack):
-            scope_lines.add(line)
-    return scope_lines
+class BannedWallclockRule(Rule):
+    name = "banned-wallclock"
+    explain = """
+std::chrono::system_clock or std::chrono::high_resolution_clock under src/.
+system_clock is wall time: it jumps under NTP adjustment, so durations
+derived from it are not monotonic, and any value that reaches results or
+seeds makes runs irreproducible. high_resolution_clock is an alias for an
+unspecified clock (often system_clock on libstdc++) — same hazard, less
+visibly. Timing on simulation paths goes through runtime::Timer
+(steady_clock, measurement-only); timestamps for logs/artifacts belong in
+the CLI layer, not under src/. Suppress with
+`// lint:allow(banned-wallclock)` only where wall time IS the datum (none
+today).
+"""
+
+    PAT = re.compile(
+        r"std::chrono::(system_clock|high_resolution_clock)")
+
+    def check(self, ctx: FileContext) -> list[Finding]:
+        if not ctx.in_src:
+            return []
+        out = []
+        for lineno, text in enumerate(ctx.clean_lines, start=1):
+            m = self.PAT.search(text)
+            if m:
+                out.append(self.finding(
+                    ctx, lineno,
+                    f"std::chrono::{m.group(1)} on a simulation path; use "
+                    "runtime::Timer (steady_clock) for durations and keep "
+                    "wall timestamps out of src/"))
+        return out
 
 
-class Finding:
-    def __init__(self, path: Path, line: int, rule: str, msg: str):
-        self.path, self.line, self.rule, self.msg = path, line, rule, msg
+class GlobalStateRule(Rule):
+    name = "global-state"
+    explain = """
+Mutable namespace-scope state that is not const/constexpr, std::atomic, a
+lock type (std::mutex family, util::Mutex/CondVar), or thread_local.
+Namespace-scope mutables are invisible cross-thread coupling: the ThreadPool
+fan-out turns them into data races, and even when benign they make results
+depend on execution order. Prefer function-local statics behind an accessor
+(see util/logging.cpp's Sink) or explicit parameters.
+"""
 
-    def __str__(self) -> str:
-        return f"{self.path}:{self.line}: [{self.rule}] {self.msg}"
+    OK = re.compile(
+        r"\b(const|constexpr|constinit|thread_local|std::atomic|std::mutex|"
+        r"std::shared_mutex|std::recursive_mutex|std::once_flag|"
+        r"std::condition_variable|util::Mutex|util::CondVar|Mutex|CondVar)\b")
+    IGNORE_START = (
+        "using", "typedef", "class", "struct", "enum", "template", "extern",
+        "static_assert", "friend", "namespace", "inline namespace", "return",
+        "public", "private", "protected",
+    )
+    DECL = re.compile(
+        r"^(?:static\s+)?[\w:<>,*&\s]+?[\s*&](\w+)\s*(?:=[^;]*|\{[^;]*\})?$")
 
-
-def allowed(raw_line: str, rule: str) -> bool:
-    m = ALLOW_RE.search(raw_line)
-    return bool(m) and rule in m.group(1).split(",")
-
-
-def lint_file(path: Path) -> list[Finding]:
-    raw = path.read_text(encoding="utf-8", errors="replace")
-    raw_lines = raw.splitlines()
-    clean = strip_comments_and_strings(raw)
-    clean_lines = clean.splitlines()
-    findings: list[Finding] = []
-
-    def emit(lineno: int, rule: str, msg: str) -> None:
-        raw_line = raw_lines[lineno - 1] if lineno - 1 < len(raw_lines) else ""
-        if not allowed(raw_line, rule):
-            findings.append(Finding(path, lineno, rule, msg))
-
-    # include-guard
-    if path.suffix in {".hpp", ".h"} and "#pragma once" not in raw:
-        findings.append(
-            Finding(path, 1, "include-guard", "header lacks `#pragma once`"))
-
-    in_src = "src" in path.parts
-
-    for lineno, text in enumerate(clean_lines, start=1):
-        # banned-rng
-        for pat, label in BANNED_RNG:
-            if pat.search(text):
-                emit(lineno, "banned-rng",
-                     f"{label} on a simulation path; use runtime::Rng "
-                     "(counter-based xoshiro/splitmix) keyed by logical index")
-        # const-cast (src/ only)
-        if in_src and "const_cast" in text:
-            emit(lineno, "const-cast",
-                 "const_cast on a simulation path; use the const "
-                 "for_each_param overloads (see nn/layer.hpp) instead of "
-                 "casting away constness")
-        # naked-new
-        if re.search(r"(?<![\w.])new\b(?!\s*\()", text) and not SMART_WRAP.search(text):
-            emit(lineno, "naked-new",
-                 "`new` outside an immediate unique_ptr/shared_ptr wrap")
-        if re.search(r"(?<![\w.])delete\b", text) and not DELETED_FN.search(text):
-            emit(lineno, "naked-new", "`delete` expression; use RAII ownership")
-
-    # global-state: namespace-scope statements in implementation files.
-    ns_lines = namespace_scope_lines(clean)
-    statement: list[tuple[int, str]] = []
-    for lineno, text in enumerate(clean_lines, start=1):
-        if lineno not in ns_lines:
+    def check(self, ctx: FileContext) -> list[Finding]:
+        out = []
+        statement: list[tuple[int, str]] = []
+        for lineno, text in enumerate(ctx.clean_lines, start=1):
+            if lineno not in ctx.ns_scope_lines:
+                statement = []
+                continue
+            stripped = text.strip()
+            if not stripped or stripped.startswith("#"):
+                continue
+            statement.append((lineno, stripped))
+            if not stripped.endswith(";"):
+                continue
+            first_line = statement[0][0]
+            joined = " ".join(s for _, s in statement)
             statement = []
-            continue
-        stripped = text.strip()
-        if not stripped or stripped.startswith("#"):
-            continue
-        statement.append((lineno, stripped))
-        if not stripped.endswith(";"):
-            continue
-        first_line, joined = statement[0][0], " ".join(s for _, s in statement)
-        statement = []
-        body = joined.rstrip(";").strip()
-        if not body or body.startswith(GLOBAL_IGNORE_START):
-            continue
-        if "(" in body.split("=")[0]:  # function decl / paren-init skipped
-            continue
-        if GLOBAL_OK.search(body):
-            continue
-        if GLOBAL_DECL.match(body):
-            emit(first_line, "global-state",
-                 "mutable namespace-scope state without a lock, std::atomic, "
-                 "or thread_local")
+            body = joined.rstrip(";").strip()
+            if not body or body.startswith(self.IGNORE_START):
+                continue
+            if "(" in body.split("=")[0]:  # function decl / paren-init
+                continue
+            if self.OK.search(body):
+                continue
+            if self.DECL.match(body):
+                out.append(self.finding(
+                    ctx, first_line,
+                    "mutable namespace-scope state without a lock, "
+                    "std::atomic, or thread_local"))
+        return out
 
-    return findings
+
+class NakedNewRule(Rule):
+    name = "naked-new"
+    explain = """
+`new` outside an immediate unique_ptr/shared_ptr/make_* wrap, or any
+`delete` expression. Ownership in this repo flows through RAII (unique_ptr,
+WorkspaceArena, std::vector); a naked new/delete reintroduces the leak and
+double-free classes those conventions exist to make impossible.
+"""
+
+    SMART_WRAP = re.compile(r"(unique_ptr|shared_ptr|make_unique|make_shared)")
+    DELETED_FN = re.compile(r"=\s*delete\b|operator\s+delete")
+
+    def check(self, ctx: FileContext) -> list[Finding]:
+        out = []
+        for lineno, text in enumerate(ctx.clean_lines, start=1):
+            if (re.search(r"(?<![\w.])new\b(?!\s*\()", text)
+                    and not self.SMART_WRAP.search(text)):
+                out.append(self.finding(
+                    ctx, lineno,
+                    "`new` outside an immediate unique_ptr/shared_ptr wrap"))
+            if (re.search(r"(?<![\w.])delete\b", text)
+                    and not self.DELETED_FN.search(text)):
+                out.append(self.finding(
+                    ctx, lineno,
+                    "`delete` expression; use RAII ownership"))
+        return out
+
+
+class ConstCastRule(Rule):
+    name = "const-cast"
+    explain = """
+const_cast anywhere under src/ (simulation paths). Model/Layer expose const
+for_each_param overloads precisely so flat-parameter export never needs to
+cast away constness; a const_cast on a hot path hides a mutation the
+aliasing/threading analysis cannot see. tests/ may still use it for
+argv-style fixtures.
+"""
+
+    def check(self, ctx: FileContext) -> list[Finding]:
+        if not ctx.in_src:
+            return []
+        out = []
+        for lineno, text in enumerate(ctx.clean_lines, start=1):
+            if "const_cast" in text:
+                out.append(self.finding(
+                    ctx, lineno,
+                    "const_cast on a simulation path; use the const "
+                    "for_each_param overloads (see nn/layer.hpp) instead of "
+                    "casting away constness"))
+        return out
+
+
+class IncludeGuardRule(Rule):
+    name = "include-guard"
+    explain = """
+Headers must start with `#pragma once`. The build is unity-free but headers
+are included across targets; a missing guard turns any diamond include into
+an ODR violation.
+"""
+
+    def check(self, ctx: FileContext) -> list[Finding]:
+        if ctx.path.suffix in {".hpp", ".h"} and "#pragma once" not in ctx.raw:
+            return [self.finding(ctx, 1, "header lacks `#pragma once`")]
+        return []
+
+
+RULES: list[Rule] = [
+    BannedRngRule(),
+    BannedWallclockRule(),
+    GlobalStateRule(),
+    NakedNewRule(),
+    ConstCastRule(),
+    IncludeGuardRule(),
+    UnorderedIterationRule(),
+]
 
 
 def main() -> int:
-    ap = argparse.ArgumentParser(description=__doc__)
-    ap.add_argument("--root", type=Path, default=Path(__file__).resolve().parents[1],
-                    help="repository root (default: the checkout containing this script)")
-    ap.add_argument("paths", nargs="*", type=Path,
-                    help="explicit files to lint (default: walk %s)" % (LINT_DIRS,))
+    ap = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
+    add_common_args(ap)
     args = ap.parse_args()
 
-    if args.paths:
-        files = [p for p in args.paths if p.suffix in CPP_SUFFIXES]
-    else:
-        files = [
-            p
-            for d in LINT_DIRS
-            for p in sorted((args.root / d).rglob("*"))
-            if p.suffix in CPP_SUFFIXES
-        ]
+    if args.explain:
+        return explain_rules(RULES, args.explain)
 
+    files = collect_files(args.root, LINT_DIRS, args.paths)
     findings: list[Finding] = []
-    for f in files:
-        findings.extend(lint_file(f))
+    for path in files:
+        ctx = FileContext(path)
+        for rule in RULES:
+            findings.extend(rule.check(ctx))
 
-    for fd in findings:
-        print(fd)
-    print(f"lint.py: {len(files)} files, {len(findings)} finding(s)")
-    return 1 if findings else 0
+    return report("lint.py", args.root, files, RULES, findings, args.json)
 
 
 if __name__ == "__main__":

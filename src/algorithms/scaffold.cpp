@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/sync.hpp"
+
 namespace groupfel::algorithms {
 
 ScaffoldRule::ScaffoldRule(std::size_t num_clients)
@@ -19,7 +21,7 @@ double ScaffoldRule::train_client(nn::Model& model, data::ClientDataRef data,
   // Snapshot c and c_i for this client (lazily zero-initialized).
   std::vector<float> c_snapshot, ci_snapshot;
   {
-    std::lock_guard lock(mu_);
+    util::MutexLock lock(mu_);
     if (c_.empty()) c_.assign(dim, 0.0f);
     if (c_i_[client_id].empty()) c_i_[client_id].assign(dim, 0.0f);
     c_snapshot = c_;
@@ -54,7 +56,7 @@ double ScaffoldRule::train_client(nn::Model& model, data::ClientDataRef data,
   // into c_ happens at round end in ascending client order so the
   // floating-point sum does not depend on which thread finished first.
   {
-    std::lock_guard lock(mu_);
+    util::MutexLock lock(mu_);
     if (pending_.empty()) pending_.resize(num_clients_);
     if (stage_mark_.empty()) stage_mark_.assign(num_clients_, 0);
     if (stage_mark_[client_id] != round_epoch_) {
@@ -70,7 +72,7 @@ double ScaffoldRule::train_client(nn::Model& model, data::ClientDataRef data,
 }
 
 void ScaffoldRule::on_global_round_end() {
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   ++round_epoch_;
   if (pending_ids_.empty()) return;
   // c <- c + (participants / N) * mean(delta_ci)  ==  c + sum(delta)/N,

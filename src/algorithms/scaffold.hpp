@@ -10,10 +10,10 @@
 #pragma once
 
 #include <cstdint>
-#include <mutex>
-#include <unordered_map>
 
 #include "algorithms/local_trainer.hpp"
+#include "util/sync.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace groupfel::algorithms {
 
@@ -34,25 +34,28 @@ class ScaffoldRule final : public LocalUpdateRule {
 
   [[nodiscard]] double communication_factor() const override { return 2.0; }
 
-  /// Server control variate (for tests).
-  [[nodiscard]] const std::vector<float>& server_control() const noexcept {
+  /// Server control variate (for tests). Returns a locked copy: concurrent
+  /// clients may be staging deltas while a monitor reads.
+  [[nodiscard]] std::vector<float> server_control() const GF_EXCLUDES(mu_) {
+    util::MutexLock lock(mu_);
     return c_;
   }
 
  private:
-  std::size_t num_clients_;
-  std::vector<float> c_;                     // server control variate
-  std::vector<std::vector<float>> c_i_;      // per-client control variates
+  const std::size_t num_clients_;
+  mutable util::Mutex mu_;
+  std::vector<float> c_ GF_GUARDED_BY(mu_);        // server control variate
+  std::vector<std::vector<float>> c_i_ GF_GUARDED_BY(mu_);  // per-client
   /// Per-client c_i deltas staged this round (accumulated across the K
   /// group rounds a client trains in). Folding them into c_ in ascending
   /// client order at round end keeps the floating-point sum independent of
   /// the order concurrent clients finish — bit-identical for any pool size
   /// and any cell scheduling.
-  std::vector<std::vector<float>> pending_;
-  std::vector<std::size_t> pending_ids_;
-  std::vector<std::uint64_t> stage_mark_;  // round epoch a slot was staged in
-  std::uint64_t round_epoch_ = 1;
-  std::mutex mu_;
+  std::vector<std::vector<float>> pending_ GF_GUARDED_BY(mu_);
+  std::vector<std::size_t> pending_ids_ GF_GUARDED_BY(mu_);
+  /// Round epoch a slot was staged in.
+  std::vector<std::uint64_t> stage_mark_ GF_GUARDED_BY(mu_);
+  std::uint64_t round_epoch_ GF_GUARDED_BY(mu_) = 1;
 };
 
 }  // namespace groupfel::algorithms

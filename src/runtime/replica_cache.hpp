@@ -12,20 +12,24 @@
 // the cache cannot name nn::Model; any ModelT with a clone() const member
 // works.
 //
-// Thread-safety: local() takes the mutex only to find or insert the calling
-// thread's slot; the returned reference is then used lock-free. That is
-// safe under ThreadPool::parallel_for because a loop body runs start to
-// finish on one thread (helper threads only pick up whole iterations, never
-// the remainder of another thread's body), and std::unordered_map is
-// node-based so references survive rehashing.
+// Thread-safety (annotated; checked by the `groupfel_analyze` preset):
+// `mu_` guards the prototype and the replica table. local() takes the mutex
+// only to find or insert the calling thread's slot; the returned reference
+// is then used lock-free. That is safe under ThreadPool::parallel_for
+// because a loop body runs start to finish on one thread (helper threads
+// only pick up whole iterations, never the remainder of another thread's
+// body), and std::unordered_map is node-based so references survive
+// rehashing.
 #pragma once
 
 #include <atomic>
 #include <cstddef>
-#include <mutex>
 #include <stdexcept>
 #include <thread>
 #include <unordered_map>
+
+#include "util/sync.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace groupfel::runtime {
 
@@ -41,15 +45,15 @@ class ModelReplicaCache {
 
   /// Installs (or replaces) the prototype and drops existing replicas.
   /// Replicas are lazily re-cloned from the new prototype on next use.
-  void set_prototype(const ModelT& prototype) {
-    std::lock_guard<std::mutex> lock(mu_);
+  void set_prototype(const ModelT& prototype) GF_EXCLUDES(mu_) {
+    util::MutexLock lock(mu_);
     prototype_ = prototype.clone();
     has_prototype_ = true;
     replicas_.clear();
   }
 
-  [[nodiscard]] bool has_prototype() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  [[nodiscard]] bool has_prototype() const GF_EXCLUDES(mu_) {
+    util::MutexLock lock(mu_);
     return has_prototype_;
   }
 
@@ -57,9 +61,9 @@ class ModelReplicaCache {
   /// thread's first use. Parameter and gradient state is whatever the
   /// previous user on this thread left behind — reset what you need (the
   /// trainer calls set_flat_parameters before every client).
-  ModelT& local() {
+  ModelT& local() GF_EXCLUDES(mu_) {
     const std::thread::id id = std::this_thread::get_id();
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     if (!has_prototype_)
       throw std::logic_error("ModelReplicaCache::local: no prototype set");
     auto it = replicas_.find(id);
@@ -78,16 +82,16 @@ class ModelReplicaCache {
     return clones_.load(std::memory_order_relaxed);
   }
   /// Threads currently holding a replica.
-  [[nodiscard]] std::size_t replica_count() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  [[nodiscard]] std::size_t replica_count() const GF_EXCLUDES(mu_) {
+    util::MutexLock lock(mu_);
     return replicas_.size();
   }
 
  private:
-  mutable std::mutex mu_;
-  ModelT prototype_;
-  bool has_prototype_ = false;
-  std::unordered_map<std::thread::id, ModelT> replicas_;
+  mutable util::Mutex mu_;
+  ModelT prototype_ GF_GUARDED_BY(mu_);
+  bool has_prototype_ GF_GUARDED_BY(mu_) = false;
+  std::unordered_map<std::thread::id, ModelT> replicas_ GF_GUARDED_BY(mu_);
   std::atomic<std::size_t> clones_{0};
 };
 

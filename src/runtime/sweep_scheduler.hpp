@@ -22,6 +22,7 @@
 #include "runtime/rng.hpp"
 #include "runtime/thread_pool.hpp"
 #include "runtime/timer.hpp"
+#include "util/sync.hpp"
 
 namespace groupfel::runtime {
 
@@ -48,11 +49,17 @@ class SweepScheduler {
   /// wall time. Exceptions propagate like ThreadPool::parallel_for.
   void run(std::size_t n, const std::function<void(std::size_t)>& body) {
     cell_seconds_.assign(n, 0.0);
+    {
+      util::MutexLock lock(progress_mu_);
+      cells_completed_ = 0;
+    }
     Timer total;
     const auto timed_body = [&](std::size_t i) {
       Timer t;
       body(i);
       cell_seconds_[i] = t.seconds();  // private slot per cell: no race
+      util::MutexLock lock(progress_mu_);
+      ++cells_completed_;
     };
     if (pool_ != nullptr && pool_->size() > 0 && n > 1) {
       pool_->parallel_for(n, timed_body);
@@ -81,11 +88,19 @@ class SweepScheduler {
   [[nodiscard]] const std::vector<double>& cell_seconds() const noexcept {
     return cell_seconds_;
   }
+  /// Cells finished so far — safe to poll from another thread while run()
+  /// is in flight (progress reporting); equals n after run() returns.
+  [[nodiscard]] std::size_t cells_completed() const {
+    util::MutexLock lock(progress_mu_);
+    return cells_completed_;
+  }
 
  private:
   ThreadPool* pool_ = nullptr;
   double total_seconds_ = 0.0;
   std::vector<double> cell_seconds_;
+  mutable util::Mutex progress_mu_;
+  std::size_t cells_completed_ GF_GUARDED_BY(progress_mu_) = 0;
 };
 
 }  // namespace groupfel::runtime

@@ -4,6 +4,9 @@
 #include <exception>
 #include <memory>
 
+#include "util/sync.hpp"
+#include "util/thread_annotations.hpp"
+
 namespace groupfel::runtime {
 
 ThreadPool::ThreadPool(std::size_t threads) {
@@ -15,7 +18,7 @@ ThreadPool::ThreadPool(std::size_t threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard lock(mu_);
+    util::MutexLock lock(mu_);
     stopping_ = true;
   }
   cv_.notify_all();
@@ -26,12 +29,9 @@ void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock lock(mu_);
-      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
-      if (queue_.empty()) {
-        if (stopping_) return;
-        continue;
-      }
+      util::MutexLock lock(mu_);
+      while (!stopping_ && queue_.empty()) cv_.wait(mu_);
+      if (queue_.empty()) return;  // stopping, queue drained
       task = std::move(queue_.front());
       queue_.pop_front();
     }
@@ -48,26 +48,26 @@ namespace {
 /// queued runner that cannot be scheduled.
 struct LoopState {
   std::function<void(std::size_t)> body;
-  std::size_t n = 0;
+  std::size_t n_total = 0;
   std::atomic<std::size_t> next{0};
   std::atomic<std::size_t> done{0};
-  std::exception_ptr first_error;
-  std::mutex error_mu;
-  std::mutex done_mu;
-  std::condition_variable done_cv;
+  util::Mutex error_mu;
+  std::exception_ptr first_error GF_GUARDED_BY(error_mu);
+  util::Mutex done_mu;
+  util::CondVar done_cv;
 
   void run() {
     for (;;) {
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= n) return;
+      if (i >= n_total) return;
       try {
         body(i);
       } catch (...) {
-        std::lock_guard lock(error_mu);
+        util::MutexLock lock(error_mu);
         if (!first_error) first_error = std::current_exception();
       }
-      if (done.fetch_add(1, std::memory_order_acq_rel) + 1 == n) {
-        std::lock_guard lock(done_mu);
+      if (done.fetch_add(1, std::memory_order_acq_rel) + 1 == n_total) {
+        util::MutexLock lock(done_mu);
         done_cv.notify_all();
       }
     }
@@ -85,14 +85,14 @@ void ThreadPool::parallel_for(std::size_t n,
 
   auto state = std::make_shared<LoopState>();
   state->body = body;  // copy: enqueued runners may outlive this frame
-  state->n = n;
+  state->n_total = n;
 
   // One helper task per worker (minus the caller, who participates). A
   // shared atomic cursor self-balances imbalanced iteration costs.
   const std::size_t helpers = std::min(workers_.size(), n) - 1;
   if (helpers > 0) {
     {
-      std::lock_guard lock(mu_);
+      util::MutexLock lock(mu_);
       for (std::size_t t = 0; t < helpers; ++t)
         queue_.emplace_back([state] { state->run(); });
     }
@@ -101,14 +101,19 @@ void ThreadPool::parallel_for(std::size_t n,
   state->run();
 
   {
-    std::unique_lock lock(state->done_mu);
-    state->done_cv.wait(lock, [&] {
-      return state->done.load(std::memory_order_acquire) >= n;
-    });
+    util::MutexLock lock(state->done_mu);
+    while (state->done.load(std::memory_order_acquire) < n)
+      state->done_cv.wait(state->done_mu);
   }
-  // Safe to read without the error mutex: every write to first_error
-  // happens-before the final `done` increment we just observed.
-  if (state->first_error) std::rethrow_exception(state->first_error);
+  // Every write to first_error happens-before the final `done` increment we
+  // just observed, but take the lock anyway: it is uncontended by now, and
+  // keeps the access pattern uniform for the static analysis.
+  std::exception_ptr err;
+  {
+    util::MutexLock lock(state->error_mu);
+    err = state->first_error;
+  }
+  if (err) std::rethrow_exception(err);
 }
 
 ThreadPool& ThreadPool::global() {

@@ -5,16 +5,22 @@
 // Determinism contract: tasks must derive any randomness from their logical
 // index (see runtime/rng.hpp), never from thread identity, so results are
 // identical for any pool size, including size 0 (inline execution).
+//
+// Locking discipline (checked at compile time by the `groupfel_analyze`
+// preset): `mu_` guards the task queue and the stop flag; `cv_` signals
+// queue/stop transitions. `workers_` is written only by the constructor
+// (before any worker can observe it) and joined by the destructor after the
+// stop handshake, so it needs no lock.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
-#include <stdexcept>
 #include <thread>
 #include <vector>
+
+#include "util/sync.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace groupfel::runtime {
 
@@ -33,19 +39,22 @@ class ThreadPool {
   /// Runs body(i) for i in [0, n); blocks until all iterations finish.
   /// Exceptions thrown by any iteration are captured and the first one is
   /// rethrown on the calling thread after the loop drains.
-  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body);
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body)
+      GF_EXCLUDES(mu_);
 
   /// Shared pool sized from hardware_concurrency (min 1 worker).
   static ThreadPool& global();
 
  private:
-  void worker_loop();
+  void worker_loop() GF_EXCLUDES(mu_);
 
+  // Written in the constructor, joined in the destructor; never touched
+  // while workers run. lint:allow(missing-guard-annotation)
   std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
-  std::mutex mu_;
-  std::condition_variable cv_;
-  bool stopping_ = false;
+  util::Mutex mu_;
+  util::CondVar cv_;
+  std::deque<std::function<void()>> queue_ GF_GUARDED_BY(mu_);
+  bool stopping_ GF_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace groupfel::runtime

@@ -2,14 +2,13 @@
 
 #include <atomic>
 #include <iostream>
-#include <mutex>
+
+#include "util/sync.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace groupfel::util {
 
 namespace {
-std::atomic<LogLevel> g_level{LogLevel::kInfo};
-std::mutex g_sink_mu;
-
 constexpr std::string_view level_name(LogLevel level) noexcept {
   switch (level) {
     case LogLevel::kDebug: return "DEBUG";
@@ -19,14 +18,47 @@ constexpr std::string_view level_name(LogLevel level) noexcept {
   }
   return "?";
 }
+
+/// All sink state behind one accessor. The previous layout exposed two
+/// unrelated namespace-scope globals (a level atomic and a sink mutex) with
+/// no declared relationship; folding them into a function-local singleton
+/// gives the mutex an annotated owner (`mu_` serializes stderr writes so
+/// concurrent log lines never interleave) and makes initialization-order
+/// issues impossible (magic statics).
+class Sink {
+ public:
+  static Sink& instance() {
+    static Sink sink;
+    return sink;
+  }
+
+  void set_level(LogLevel level) noexcept {
+    level_.store(level, std::memory_order_relaxed);
+  }
+  [[nodiscard]] LogLevel level() const noexcept {
+    return level_.load(std::memory_order_relaxed);
+  }
+
+  void write(LogLevel level, std::string_view msg) GF_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    std::cerr << "[" << level_name(level) << "] " << msg << "\n";
+  }
+
+ private:
+  Sink() = default;
+
+  Mutex mu_;  // serializes the stderr stream, the only shared resource
+  std::atomic<LogLevel> level_{LogLevel::kInfo};
+};
 }  // namespace
 
-void set_log_level(LogLevel level) noexcept { g_level.store(level); }
-LogLevel log_level() noexcept { return g_level.load(); }
+void set_log_level(LogLevel level) noexcept {
+  Sink::instance().set_level(level);
+}
+LogLevel log_level() noexcept { return Sink::instance().level(); }
 
 void log_message(LogLevel level, std::string_view msg) {
-  std::lock_guard lock(g_sink_mu);
-  std::cerr << "[" << level_name(level) << "] " << msg << "\n";
+  Sink::instance().write(level, msg);
 }
 
 }  // namespace groupfel::util

@@ -1,0 +1,61 @@
+// Clang Thread Safety Analysis annotation vocabulary (no-ops elsewhere).
+//
+// These macros attach the repo's locking discipline to the types that carry
+// it (ThreadPool, ModelReplicaCache, ScaffoldRule, SweepScheduler, the
+// logging sink) so that `-Wthread-safety -Werror=thread-safety` — enabled by
+// the `groupfel_analyze` CMake preset under clang — turns a violated
+// discipline into a compile error instead of a (maybe) failing TSan run.
+// Under GCC and other compilers every macro expands to nothing, so the
+// default build is unaffected.
+//
+// Vocabulary (see docs/DEVELOPMENT.md "Compile-time analysis"):
+//   GF_CAPABILITY("mutex")    a type that is a lockable capability
+//   GF_SCOPED_CAPABILITY      an RAII type that acquires on construction
+//   GF_GUARDED_BY(mu)         field may only be touched while `mu` is held
+//   GF_PT_GUARDED_BY(mu)      pointee guarded by `mu` (pointer itself free)
+//   GF_REQUIRES(mu)           function must be called with `mu` held
+//   GF_ACQUIRE(mu...)         function acquires `mu` (empty = *this)
+//   GF_RELEASE(mu...)         function releases `mu` (empty = *this)
+//   GF_TRY_ACQUIRE(b, mu...)  try-lock returning `b` on success
+//   GF_EXCLUDES(mu)           caller must NOT hold `mu` (deadlock guard)
+//   GF_RETURN_CAPABILITY(mu)  function returns a reference to `mu`
+//   GF_NO_THREAD_SAFETY_ANALYSIS  opt a function out (needs justification —
+//                                 same review bar as `// lint:allow(...)`)
+//
+// The determinism analyzer (scripts/determinism_analyzer.py) reads these
+// annotations textually as its ground truth: it cross-checks that annotated
+// fields are only touched under their mutex and that fields used under a
+// lock are annotated, so the vocabulary is load-bearing even on gcc-only
+// hosts.
+#pragma once
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define GF_THREAD_ANNOTATION_ATTRIBUTE(x) __attribute__((x))
+#endif
+#endif
+#ifndef GF_THREAD_ANNOTATION_ATTRIBUTE
+#define GF_THREAD_ANNOTATION_ATTRIBUTE(x)  // no-op on non-clang compilers
+#endif
+
+#define GF_CAPABILITY(x) GF_THREAD_ANNOTATION_ATTRIBUTE(capability(x))
+#define GF_SCOPED_CAPABILITY GF_THREAD_ANNOTATION_ATTRIBUTE(scoped_lockable)
+#define GF_GUARDED_BY(x) GF_THREAD_ANNOTATION_ATTRIBUTE(guarded_by(x))
+#define GF_PT_GUARDED_BY(x) GF_THREAD_ANNOTATION_ATTRIBUTE(pt_guarded_by(x))
+#define GF_ACQUIRED_BEFORE(...) \
+  GF_THREAD_ANNOTATION_ATTRIBUTE(acquired_before(__VA_ARGS__))
+#define GF_ACQUIRED_AFTER(...) \
+  GF_THREAD_ANNOTATION_ATTRIBUTE(acquired_after(__VA_ARGS__))
+#define GF_REQUIRES(...) \
+  GF_THREAD_ANNOTATION_ATTRIBUTE(requires_capability(__VA_ARGS__))
+#define GF_ACQUIRE(...) \
+  GF_THREAD_ANNOTATION_ATTRIBUTE(acquire_capability(__VA_ARGS__))
+#define GF_RELEASE(...) \
+  GF_THREAD_ANNOTATION_ATTRIBUTE(release_capability(__VA_ARGS__))
+#define GF_TRY_ACQUIRE(...) \
+  GF_THREAD_ANNOTATION_ATTRIBUTE(try_acquire_capability(__VA_ARGS__))
+#define GF_EXCLUDES(...) \
+  GF_THREAD_ANNOTATION_ATTRIBUTE(locks_excluded(__VA_ARGS__))
+#define GF_RETURN_CAPABILITY(x) GF_THREAD_ANNOTATION_ATTRIBUTE(lock_returned(x))
+#define GF_NO_THREAD_SAFETY_ANALYSIS \
+  GF_THREAD_ANNOTATION_ATTRIBUTE(no_thread_safety_analysis)

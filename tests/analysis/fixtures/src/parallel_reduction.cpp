@@ -1,0 +1,65 @@
+// Known-bad fixture for the `parallel-float-reduction` rule. Minimal Pool
+// stand-in mirroring runtime::ThreadPool::parallel_for's shape so libclang
+// can parse without includes. Expected findings: 3 active, 1 suppressed.
+namespace std {
+template <class It, class T>
+T accumulate(It first, It last, T init);
+}  // namespace std
+
+namespace fixture {
+
+struct Pool {
+  template <class F>
+  void parallel_for(unsigned long n, F f) {
+    for (unsigned long i = 0; i < n; ++i) f(i);
+  }
+};
+
+double shared_accumulation_bad(Pool& pool) {
+  float data[8] = {};
+  double total = 0.0;
+  pool.parallel_for(8, [&](unsigned long i) {
+    total += data[i];  // FINDING: captured accumulator, order-dependent
+  });
+  return total;
+}
+
+double named_lambda_bad(Pool& pool) {
+  double sum = 0.0;
+  const auto acc = [&](unsigned long i) {
+    sum += static_cast<double>(i);  // FINDING: resolved via the named arg
+  };
+  pool.parallel_for(4, acc);
+  return sum;
+}
+
+float accumulate_bad(Pool& pool) {
+  float data[8] = {};
+  float out[2] = {};
+  pool.parallel_for(2, [&](unsigned long i) {
+    // FINDING: chunk-local left-fold, value changes with the partition
+    out[i] = std::accumulate(data, data + 4 + i, 0.0f);
+  });
+  return out[0];
+}
+
+double locals_and_slots_ok(Pool& pool) {
+  float data[8] = {};
+  double out[8] = {};
+  pool.parallel_for(8, [&](unsigned long i) {
+    double s = 0.0;       // lambda-local accumulator: fine
+    s += data[i];
+    out[i] += s;          // disjoint slot indexed by the worker's index
+  });
+  return out[0];
+}
+
+double documented_suppression(Pool& pool) {
+  double approx = 0.0;
+  pool.parallel_for(8, [&](unsigned long i) {
+    approx += i;  // lint:allow(parallel-float-reduction)
+  });
+  return approx;
+}
+
+}  // namespace fixture

@@ -1,0 +1,51 @@
+// Known-bad fixture for the `unguarded-field` and `missing-guard-annotation`
+// rules. Local stand-ins for util::Mutex / util::MutexLock and the GF_*
+// macros so the fixture parses with no include path. Expected findings:
+// 1 active unguarded-field, 2 active missing-guard-annotation, 1 suppressed
+// missing-guard-annotation.
+#define GF_GUARDED_BY(x)
+
+namespace fixture {
+
+struct Mutex {
+  void lock();
+  void unlock();
+};
+
+struct MutexLock {
+  explicit MutexLock(Mutex& mu);
+  ~MutexLock();
+};
+
+class Counter {
+ public:
+  Counter() {
+    value_ = 0;  // no finding: constructors run single-threaded
+    hits_ = 0;
+  }
+
+  void add_locked(int amount) {
+    MutexLock lock(mu_);
+    value_ += amount;  // no finding: mu_ held
+    ++hits_;           // evidence hits_ belongs to mu_ (see decl finding)
+    ++logged_total_;   // suppressed at the declaration
+  }
+
+  void add_racy(int amount) {
+    value_ += amount;  // FINDING: unguarded-field (mu_ not held)
+  }
+
+ private:
+  Mutex mu_;
+  int value_ GF_GUARDED_BY(mu_);
+  // FINDING: missing-guard-annotation — accessed under mu_ in add_locked()
+  // but never annotated; exactly what deleting a GF_GUARDED_BY leaves.
+  int hits_;
+  // FINDING: missing-guard-annotation — names a mutex the class doesn't own.
+  int orphan_ GF_GUARDED_BY(gone_mu_);
+  // Monotonic debug counter, reset only in tests before threads start.
+  // lint:allow(missing-guard-annotation)
+  int logged_total_;
+};
+
+}  // namespace fixture

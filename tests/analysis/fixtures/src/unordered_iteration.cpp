@@ -1,0 +1,57 @@
+// Known-bad fixture for the `unordered-iteration` rule (analyzer + lint
+// fallback). Self-contained stand-ins for the std containers so libclang can
+// parse it without any include path: the rule keys on the type, not the
+// header. Expected findings: 2 active, 1 suppressed.
+namespace std {
+template <class K, class V>
+struct unordered_map {
+  struct value_type {
+    K first;
+    V second;
+  };
+  value_type* begin();
+  value_type* end();
+};
+template <class K>
+struct unordered_set {
+  K* begin();
+  K* end();
+};
+template <class T>
+struct vector {
+  T* begin();
+  T* end();
+};
+}  // namespace std
+
+namespace fixture {
+
+float sum_weights_bad() {
+  std::unordered_map<int, float> weights;
+  float total = 0.0f;
+  for (auto& kv : weights) total += kv.second;  // FINDING: range-for
+  return total;
+}
+
+int first_member_bad() {
+  std::unordered_set<int> members;
+  auto it = members.begin();  // FINDING: .begin() iteration
+  return it == members.end() ? -1 : *it;
+}
+
+int membership_only_ok(int id) {
+  std::unordered_set<int> members;
+  // Counting via iteration, order provably cannot reach the result.
+  int n = 0;
+  for (auto& m : members) n += (m == id);  // lint:allow(unordered-iteration)
+  return n;
+}
+
+float ordered_is_fine() {
+  std::vector<float> ordered_weights;
+  float total = 0.0f;
+  for (auto& w : ordered_weights) total += w;  // no finding: ordered
+  return total;
+}
+
+}  // namespace fixture

@@ -1,0 +1,21 @@
+// Known-bad fixture for lint's `banned-wallclock` rule (src/-scoped: this
+// directory carries a src/ segment precisely so the scoped rules apply).
+// Purely textual — never compiled. Expected findings: 2 active,
+// 1 suppressed.
+namespace fixture {
+
+long stamp_results_bad() {
+  // FINDING: wall time reaches a simulation-path value.
+  auto t0 = std::chrono::system_clock::now();
+  // FINDING: high_resolution_clock is an unspecified alias (often wall).
+  auto t1 = std::chrono::high_resolution_clock::now();
+  return (t1 - t0).count();
+}
+
+long artifact_timestamp_ok() {
+  // CLI-layer style timestamp, documented: wall time IS the datum here.
+  auto when = std::chrono::system_clock::now();  // lint:allow(banned-wallclock)
+  return when.time_since_epoch().count();
+}
+
+}  // namespace fixture

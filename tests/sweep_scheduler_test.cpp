@@ -34,6 +34,7 @@ TEST(SweepScheduler, RunsEveryCellExactlyOnce) {
     sched.run(hits.size(), [&](std::size_t i) { hits[i].fetch_add(1); });
     for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
     EXPECT_EQ(sched.cell_seconds().size(), hits.size());
+    EXPECT_EQ(sched.cells_completed(), hits.size());
   }
 }
 
