@@ -19,6 +19,10 @@ generic tool checks. Rules are classes over `scripts/analysis_core.py` —
                        (regex fallback of the determinism analyzer's rule,
                        so the invariant holds even where the analyzer is
                        skipped).
+  half-bitcast         Raw float<->half conversions (F16C/AVX512 convert
+                       intrinsics, __bf16/_Float16 builtin types, the RNE
+                       bias constant) outside util/half.hpp, which owns the
+                       rounding semantics.
 
 Suppression: append `// lint:allow(<rule>)` to the offending line (or the
 line directly above) with a justification nearby (policy in
@@ -236,6 +240,50 @@ an ODR violation.
         return []
 
 
+class HalfBitcastRule(Rule):
+    name = "half-bitcast"
+    explain = """
+Raw float<->half-precision conversions outside util/half.hpp: the F16C /
+AVX-512 convert intrinsics (_cvtss_sh, _cvtsh_ss, *cvtph_ps, *cvtps_ph,
+*cvtneps_pbh and the 2-register form), the __bf16/_Float16/__fp16 builtin
+types, and the bf16 RNE bias idiom (the 0x7fff carry constant). The
+mixed-precision design puts ALL rounding semantics in util/half.hpp — RNE
+ties-to-even, NaN quieting, fp16 saturation and subnormals — so every TU
+produces identical bits whether or not it was compiled with -march=native.
+A conversion hand-rolled elsewhere (or a builtin half type, whose implicit
+conversions round invisibly) forks those semantics and silently breaks the
+pool-size/TU bit-identity invariant the precision configs are gated on.
+Compute intrinsics that CONSUME packed half data (_tile_dpbf16ps,
+_mm512_dpbf16_ps) are fine — they do not convert. Suppress with
+`// lint:allow(half-bitcast)` only where the raw conversion IS the point
+(e.g. tests cross-checking the soft converters against hardware).
+"""
+
+    PATTERNS = [
+        (re.compile(r"_cvtss_sh\b|_cvtsh_ss\b|\w*cvtph_ps\w*|\w*cvtps_ph\w*|"
+                    r"\w*cvtne2?ps_pbh\w*"),
+         "float<->half convert intrinsic"),
+        (re.compile(r"\b(__bf16|_Float16|__fp16)\b"),
+         "builtin half type (implicit rounding)"),
+        (re.compile(r"0x7fff(?![0-9a-fA-F])", re.IGNORECASE),
+         "bf16 RNE bias constant (hand-rolled rounding)"),
+    ]
+
+    def check(self, ctx: FileContext) -> list[Finding]:
+        if ctx.path.name == "half.hpp" and "util" in ctx.path.parts:
+            return []  # the one place allowed to own these semantics
+        out = []
+        for lineno, text in enumerate(ctx.clean_lines, start=1):
+            for pat, label in self.PATTERNS:
+                if pat.search(text):
+                    out.append(self.finding(
+                        ctx, lineno,
+                        f"{label} outside util/half.hpp; use the "
+                        "to/from_*_bits and round_* helpers so rounding "
+                        "semantics stay in one file"))
+        return out
+
+
 RULES: list[Rule] = [
     BannedRngRule(),
     BannedWallclockRule(),
@@ -244,6 +292,7 @@ RULES: list[Rule] = [
     ConstCastRule(),
     IncludeGuardRule(),
     UnorderedIterationRule(),
+    HalfBitcastRule(),
 ]
 
 

@@ -2,16 +2,92 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <numeric>
 #include <stdexcept>
 
+#include "runtime/rng.hpp"
+#include "util/half.hpp"
+
 namespace groupfel::compression {
+namespace {
+
+/// Uniform [0, 1) deviate for stochastic rounding, keyed by (seed, index):
+/// a counter-based splitmix64 stream, so the rounding of coefficient i is a
+/// pure function of the config seed — independent of iteration order,
+/// sparsification, or thread count.
+float sr_uniform(std::uint64_t seed, std::uint64_t index) {
+  std::uint64_t state = seed ^ (0x517cc1b727220a95ull * (index + 1));
+  const std::uint64_t bits = runtime::splitmix64(state);
+  return static_cast<float>(bits >> 40) * 0x1.0p-24f;
+}
+
+/// Quantizes one value to an int8 code under `scale` (symmetric uniform).
+/// kInt8 rounds to nearest; kInt8Sr rounds stochastically (unbiased:
+/// E[code * scale] = value inside the clamp range).
+std::int8_t int8_code(float value, float scale, Codec codec,
+                      std::uint64_t seed, std::uint64_t index) {
+  const float q = std::clamp(value / scale, -127.0f, 127.0f);
+  if (codec == Codec::kInt8)
+    return static_cast<std::int8_t>(std::round(q));
+  const float lo = std::floor(q);
+  const float frac = q - lo;
+  return static_cast<std::int8_t>(lo +
+                                  (frac > sr_uniform(seed, index) ? 1 : 0));
+}
+
+/// Writes the payload for one retained coefficient into `dst`.
+void encode_value(float value, Codec codec, float scale, std::uint64_t seed,
+                  std::uint64_t index, std::int8_t* dst) {
+  switch (codec) {
+    case Codec::kInt8:
+    case Codec::kInt8Sr:
+      *dst = int8_code(value, scale, codec, seed, index);
+      break;
+    case Codec::kFp16: {
+      const std::uint16_t bits = util::half::to_fp16_bits(value);
+      dst[0] = static_cast<std::int8_t>(bits & 0xFFu);
+      dst[1] = static_cast<std::int8_t>(bits >> 8);
+      break;
+    }
+    default: {  // kFloat32: raw little-endian float payload
+      std::memcpy(dst, &value, sizeof(float));
+      break;
+    }
+  }
+}
+
+/// Reads the j-th retained value back out of a payload.
+float decode_value(const CompressedUpdate& update, std::size_t j) {
+  const std::int8_t* src = update.codes.data() + j * code_bytes(update.codec);
+  switch (update.codec) {
+    case Codec::kInt8:
+    case Codec::kInt8Sr:
+      return static_cast<float>(*src) * update.scale;
+    case Codec::kFp16: {
+      const auto bits = static_cast<std::uint16_t>(
+          static_cast<std::uint8_t>(src[0]) |
+          (static_cast<std::uint16_t>(static_cast<std::uint8_t>(src[1]))
+           << 8));
+      return util::half::from_fp16_bits(bits);
+    }
+    default: {
+      float v;
+      std::memcpy(&v, src, sizeof(float));
+      return v;
+    }
+  }
+}
+
+bool is_int8(Codec c) { return c == Codec::kInt8 || c == Codec::kInt8Sr; }
+
+}  // namespace
 
 std::size_t CompressedUpdate::wire_bytes() const {
-  // Header: dense_size + scale + quantized flag + two lengths.
+  // Header: dense_size + scale + codec byte + two lengths.
   std::size_t bytes = 4 + 4 + 1 + 4 + 4;
   bytes += indices.size() * 4;
-  bytes += codes.size();  // int8 codes, or raw float bytes when !quantized
+  bytes += codes.size();  // code_bytes(codec) bytes per retained coefficient
   return bytes;
 }
 
@@ -21,6 +97,7 @@ CompressedUpdate compress(std::span<const float> update,
     throw std::invalid_argument("compress: vector too large");
   CompressedUpdate out;
   out.dense_size = static_cast<std::uint32_t>(update.size());
+  out.codec = config.codec;
 
   // Select retained coordinates.
   std::vector<std::uint32_t> keep;
@@ -39,61 +116,77 @@ CompressedUpdate compress(std::span<const float> update,
   } else {
     keep.resize(update.size());
     std::iota(keep.begin(), keep.end(), 0u);
-    // Dense: indices stay empty (implicit identity).
+    // Dense (top_k == 0 or top_k >= size): indices stay empty (implicit
+    // identity), every coefficient coded in order.
   }
 
-  // Quantization scale from the max retained magnitude.
+  // int8 codecs derive the scale from the max retained magnitude; the
+  // direct-value codecs keep scale at 1. An all-zero retained set codes to
+  // zeros under every codec, flagged by scale 0 for the int8 family.
   float max_abs = 0.0f;
   for (auto i : keep) max_abs = std::max(max_abs, std::abs(update[i]));
-  if (max_abs == 0.0f) {
+  if (is_int8(config.codec) && max_abs == 0.0f) {
     out.scale = 0.0f;
-    out.quantized = true;
     out.codes.assign(keep.size(), 0);
     return out;
   }
+  out.scale = is_int8(config.codec) ? max_abs / 127.0f : 1.0f;
 
-  out.quantized = config.quantize;
-  if (config.quantize) {
-    out.scale = max_abs / 127.0f;
-    out.codes.reserve(keep.size());
-    for (auto i : keep) {
-      const float q = std::round(update[i] / out.scale);
-      out.codes.push_back(static_cast<std::int8_t>(
-          std::clamp(q, -127.0f, 127.0f)));
-    }
-  } else {
-    // Store floats bit-cast into 4 codes each? Keep the format simple:
-    // unquantized mode reuses `codes` as raw bytes of float payload.
-    out.scale = 1.0f;
-    out.codes.resize(keep.size() * sizeof(float));
-    float* dst = reinterpret_cast<float*>(out.codes.data());
-    for (std::size_t j = 0; j < keep.size(); ++j) dst[j] = update[keep[j]];
+  out.codes.resize(keep.size() * code_bytes(config.codec));
+  std::int8_t* dst = out.codes.data();
+  for (std::size_t j = 0; j < keep.size(); ++j) {
+    encode_value(update[keep[j]], config.codec, out.scale, config.seed,
+                 keep[j], dst);
+    dst += code_bytes(config.codec);
   }
   return out;
 }
 
-std::vector<float> decompress(const CompressedUpdate& update) {
-  std::vector<float> out(update.dense_size, 0.0f);
-  if (update.scale == 0.0f) return out;  // all-zero update
+void decompress_into(const CompressedUpdate& update, std::span<float> out) {
+  if (out.size() != update.dense_size)
+    throw std::invalid_argument("decompress_into: buffer size mismatch");
+  std::fill(out.begin(), out.end(), 0.0f);
+  if (is_int8(update.codec) && update.scale == 0.0f) return;  // all-zero
   const bool sparse = !update.indices.empty();
   const std::size_t retained =
       sparse ? update.indices.size() : update.dense_size;
-  const std::size_t expected_codes =
-      update.quantized ? retained : retained * sizeof(float);
-  if (update.codes.size() != expected_codes)
+  if (update.codes.size() != retained * code_bytes(update.codec))
     throw std::invalid_argument("decompress: malformed code payload");
 
   for (std::size_t j = 0; j < retained; ++j) {
     const std::size_t dst = sparse ? update.indices[j] : j;
     if (dst >= out.size())
       throw std::invalid_argument("decompress: index out of range");
-    if (update.quantized) {
-      out[dst] = static_cast<float>(update.codes[j]) * update.scale;
-    } else {
-      out[dst] = reinterpret_cast<const float*>(update.codes.data())[j];
+    out[dst] = decode_value(update, j);
+  }
+}
+
+std::vector<float> decompress(const CompressedUpdate& update) {
+  std::vector<float> out(update.dense_size, 0.0f);
+  decompress_into(update, out);
+  return out;
+}
+
+void wire_round_trip(std::span<float> values, Codec codec,
+                     std::uint64_t seed) {
+  switch (codec) {
+    case Codec::kFloat32:
+      return;  // exact
+    case Codec::kFp16:
+      for (auto& v : values) v = util::half::round_fp16(v);
+      return;
+    default: {  // int8 family
+      float max_abs = 0.0f;
+      for (const auto v : values) max_abs = std::max(max_abs, std::abs(v));
+      if (max_abs == 0.0f) return;
+      const float scale = max_abs / 127.0f;
+      for (std::size_t i = 0; i < values.size(); ++i)
+        values[i] = static_cast<float>(
+                        int8_code(values[i], scale, codec, seed, i)) *
+                    scale;
+      return;
     }
   }
-  return out;
 }
 
 double reconstruction_error(std::span<const float> original,
@@ -105,7 +198,7 @@ double reconstruction_error(std::span<const float> original,
     const double d =
         static_cast<double>(original[i]) - static_cast<double>(recovered[i]);
     err += d * d;
-    norm += static_cast<double>(original[i]) * original[i];
+    norm += static_cast<double>(original[i]) * static_cast<double>(original[i]);
   }
   if (norm == 0.0) return 0.0;
   return std::sqrt(err / norm);

@@ -1,30 +1,64 @@
-// Model-update compression: top-k sparsification and uniform int8
-// quantization. The paper's §2.3 cites gradient/model compression [26, 27]
-// as the standard answer to the cross-device communication bottleneck;
-// this module provides both schemes (and their composition) with exact
-// byte accounting, so the communication ablation can trade accuracy
-// against bytes on the wire.
+// Model-update compression: top-k sparsification composed with a choice of
+// payload codec. The paper's §2.3 cites gradient/model compression [26, 27]
+// as the standard answer to the cross-device communication bottleneck; this
+// module provides the schemes (and their compositions) with exact byte
+// accounting, so the communication ablation and the trainer's precision-
+// aware wire path can trade accuracy against bytes on the wire.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <span>
 #include <vector>
 
 namespace groupfel::compression {
 
-/// A compressed update: sparse quantized coefficients + metadata needed to
+/// Payload codec for retained coefficients.
+enum class Codec : std::uint8_t {
+  kFloat32 = 0,  ///< raw fp32 payload (4 B per coefficient)
+  kInt8 = 1,     ///< uniform symmetric int8, round-to-nearest (1 B)
+  kInt8Sr = 2,   ///< uniform symmetric int8, stochastic rounding (1 B)
+  kFp16 = 3,     ///< IEEE binary16 payload, RNE (2 B per coefficient)
+};
+
+/// Payload bytes per retained coefficient for a codec.
+[[nodiscard]] constexpr std::size_t code_bytes(Codec c) {
+  switch (c) {
+    case Codec::kInt8:
+    case Codec::kInt8Sr:
+      return 1;
+    case Codec::kFp16:
+      return 2;
+    default:
+      return 4;
+  }
+}
+
+[[nodiscard]] constexpr const char* to_string(Codec c) {
+  switch (c) {
+    case Codec::kInt8:
+      return "int8";
+    case Codec::kInt8Sr:
+      return "int8sr";
+    case Codec::kFp16:
+      return "fp16";
+    default:
+      return "fp32";
+  }
+}
+
+/// A compressed update: sparse coded coefficients + metadata needed to
 /// reconstruct a dense float vector.
 struct CompressedUpdate {
   std::uint32_t dense_size = 0;
-  /// Quantization scale: value = code * scale (0 scale = all-zero update).
+  /// int8 codecs: value = code * scale (0 scale = all-zero update).
+  /// kFloat32/kFp16 carry values directly and keep scale at 1.
   float scale = 0.0f;
-  /// True when `codes` holds int8 quantized values; false when it holds the
-  /// raw float32 payload (4 bytes per retained coefficient).
-  bool quantized = true;
-  /// Sorted indices of retained coefficients (empty + quantized full-size
-  /// codes means dense quantization).
+  Codec codec = Codec::kInt8;
+  /// Sorted indices of retained coefficients (empty means dense: every
+  /// coefficient retained in order).
   std::vector<std::uint32_t> indices;
-  /// int8 codes, one per retained coefficient.
+  /// Payload: code_bytes(codec) bytes per retained coefficient.
   std::vector<std::int8_t> codes;
 
   /// Exact bytes this update occupies on the wire.
@@ -33,11 +67,14 @@ struct CompressedUpdate {
 
 struct CompressorConfig {
   /// Keep the k largest-magnitude coefficients; 0 disables sparsification
-  /// (dense quantization). May not exceed the vector size.
+  /// (dense coding). May not exceed the vector size.
   std::size_t top_k = 0;
-  /// Quantize retained values to int8 (uniform symmetric). Disabled means
-  /// full float32 payload (indices only benefit).
-  bool quantize = true;
+  /// Payload codec for retained coefficients.
+  Codec codec = Codec::kInt8;
+  /// Stream seed for stochastic rounding (kInt8Sr only): the rounding of
+  /// coefficient i depends only on (seed, i), so results are deterministic
+  /// and independent of evaluation order or thread count.
+  std::uint64_t seed = 0;
 };
 
 /// Compresses a dense update.
@@ -46,6 +83,19 @@ struct CompressorConfig {
 
 /// Reconstructs the dense vector (zeros where coefficients were dropped).
 [[nodiscard]] std::vector<float> decompress(const CompressedUpdate& update);
+
+/// Reconstructs into a caller-owned buffer of exactly `update.dense_size`
+/// floats (overwritten entirely; zeros where coefficients were dropped).
+/// The allocation-free form of decompress() for hot loops.
+void decompress_into(const CompressedUpdate& update, std::span<float> out);
+
+/// In-place lossy round-trip of a dense vector through a codec — the values
+/// a receiver would reconstruct, without materializing a CompressedUpdate.
+/// This is the trainer's wire path: each uploaded/downloaded parameter
+/// vector passes through here, and the cost model independently accounts
+/// code_bytes(codec) per parameter. kFloat32 is the exact identity.
+void wire_round_trip(std::span<float> values, Codec codec,
+                     std::uint64_t seed = 0);
 
 /// Relative L2 reconstruction error ||x - x'|| / ||x|| (0 for zero input).
 [[nodiscard]] double reconstruction_error(std::span<const float> original,

@@ -13,8 +13,10 @@
 
 #include "algorithms/local_trainer.hpp"
 #include "backdoor/flame.hpp"
+#include "compression/compressor.hpp"
 #include "cost/cost_model.hpp"
 #include "grouping/grouping.hpp"
+#include "nn/precision.hpp"
 #include "sampling/sampler.hpp"
 #include "sampling/weights.hpp"
 
@@ -39,6 +41,44 @@ struct BackdoorConfig {
   bool defense = false;
   backdoor::FlameConfig flame{};
 };
+
+/// End-to-end precision selection: compute width inside client SGD and wire
+/// width for every parameter exchange.
+struct PrecisionConfig {
+  /// GEMM operand storage width for local training and evaluation (fp32
+  /// accumulation always; see nn/precision.hpp). Applied to the trainer's
+  /// prototype model, so every replica inherits it.
+  nn::StoragePrecision compute = nn::StoragePrecision::kFp32;
+
+  /// Wire codec for parameter exchange. Client updates (deltas against the
+  /// group model) pass through compression::wire_round_trip before
+  /// aggregation, the secagg fixed-point encoder narrows to the matching
+  /// fraction width, and the cost model charges wire_bytes_per_param()
+  /// bytes per parameter instead of 4.
+  compression::Codec wire = compression::Codec::kFloat32;
+};
+
+/// Bytes per parameter the cost model charges for a wire codec.
+[[nodiscard]] constexpr double wire_bytes_per_param(compression::Codec c) {
+  return static_cast<double>(compression::code_bytes(c));
+}
+
+/// Fixed-point fraction bits the secure-aggregation encoder uses per wire
+/// codec: fp32 keeps the protocol's native 16, fp16 matches its 10+1
+/// significand bits, the int8 family its 7+1 magnitude bits. Narrower
+/// fractions mean coarser masked updates — the secagg analogue of sending
+/// narrower payloads.
+[[nodiscard]] constexpr std::uint8_t secagg_frac_bits(compression::Codec c) {
+  switch (c) {
+    case compression::Codec::kFp16:
+      return 10;
+    case compression::Codec::kInt8:
+    case compression::Codec::kInt8Sr:
+      return 7;
+    default:
+      return 16;
+  }
+}
 
 struct GroupFelConfig {
   // Algorithm 1 hyperparameters.
@@ -100,6 +140,10 @@ struct GroupFelConfig {
   /// weighted_average copy chain. Bit-identical for any pool size; off =
   /// legacy serial path, kept for A/B benchmarking.
   bool parallel_aggregation = true;
+
+  /// Compute + wire precision (defaults are the exact fp32 path, byte- and
+  /// bit-identical to configs that predate the knob).
+  PrecisionConfig precision{};
 
   std::uint64_t seed = 1234;
 };

@@ -6,6 +6,7 @@
 #include "algorithms/fedclar.hpp"
 #include "algorithms/fedprox.hpp"
 #include "algorithms/scaffold.hpp"
+#include "compression/compressor.hpp"
 #include "runtime/thread_pool.hpp"
 #include "net/network_model.hpp"
 #include "secagg/secure_aggregator.hpp"
@@ -58,6 +59,10 @@ GroupFelTrainer::GroupFelTrainer(FederationTopology topology,
   prototype_ = topo_.model_factory();
   runtime::Rng init_rng = run_rng_.fork(0x696e6974ull /*"init"*/);
   prototype_.init(init_rng);
+  // Compute-width selection: the prototype carries the storage precision, so
+  // every clone (replica cache and legacy clone-per-client path alike)
+  // inherits it. kFp32 leaves the exact legacy kernels untouched.
+  prototype_.set_compute_precision(cfg_.precision.compute);
   if (cfg_.reuse_model_replicas) replicas_.set_prototype(prototype_);
 
   runtime::Rng group_rng = run_rng_.fork(0x67727570ull /*"grup"*/);
@@ -160,6 +165,25 @@ GroupFelTrainer::GroupRun GroupFelTrainer::run_group(
       }
     }
 
+    // Uplink wire codec: each surviving member's DELTA against the group
+    // model passes through the lossy round-trip before any aggregation path
+    // (FLAME, secagg, or plain averaging) sees it — exactly the values a
+    // receiver would reconstruct from the narrowed payload. The SR stream is
+    // keyed by (round, group, k, client, coefficient), so the result is
+    // independent of thread count and member iteration order. kFloat32 is
+    // the exact identity and skips the pass entirely.
+    if (cfg_.precision.wire != compression::Codec::kFloat32) {
+      for (auto m : survivors) {
+        const std::uint64_t wire_seed =
+            mix_tag(0x317eull, round, group_tag * 131 + k) * 1000003ull +
+            group.clients[m];
+        for (std::size_t i = 0; i < dim; ++i) locals[m][i] -= run.params[i];
+        compression::wire_round_trip(locals[m], cfg_.precision.wire,
+                                     wire_seed);
+        for (std::size_t i = 0; i < dim; ++i) locals[m][i] += run.params[i];
+      }
+    }
+
     auto accumulate_losses = [&] {
       for (auto m : survivors) {
         run.loss_sum += losses[m];
@@ -219,6 +243,9 @@ GroupFelTrainer::GroupRun GroupFelTrainer::run_group(
           run_rng_.fork(mix_tag(0x5ec466ull, round, group_tag * 131 + k));
       secagg::SecAggConfig sa_cfg;
       sa_cfg.round_tag = mix_tag(round, k) & 0xFFFFFFFFull;
+      // Narrow the fixed-point fraction to match the wire codec (16 bits for
+      // fp32 — the protocol's legacy width — so defaults stay bit-exact).
+      sa_cfg.frac_bits = secagg_frac_bits(cfg_.precision.wire);
       secagg::SecureAggregator agg(members, run.params.size(), sa_cfg,
                                    secagg_rng);
       std::vector<std::optional<std::vector<secagg::Fe>>> slots(members);
@@ -360,7 +387,8 @@ TrainResult GroupFelTrainer::train(double cost_budget) {
 
   double comm_bytes = 0.0;
   const double model_b =
-      net::model_bytes(prototype_.param_count(), rule_->communication_factor());
+      net::model_bytes(prototype_.param_count(), rule_->communication_factor(),
+                       wire_bytes_per_param(cfg_.precision.wire));
 
   auto record = [&](std::size_t round, double train_loss) {
     const EvalResult ev = [&] {

@@ -72,10 +72,14 @@ class NetworkModel {
   NetworkSpec spec_;
 };
 
-/// Bytes of a float32 model with `params` parameters plus a fixed header.
+/// Bytes of one model payload with `params` parameters plus a fixed header.
+/// `bytes_per_param` reflects the wire codec (4 for float32, 2 for fp16, 1
+/// for the int8 family — see core::wire_bytes_per_param).
 [[nodiscard]] constexpr double model_bytes(std::size_t params,
-                                           double comm_factor = 1.0) {
-  return (static_cast<double>(params) * 4.0 + 256.0) * comm_factor;
+                                           double comm_factor = 1.0,
+                                           double bytes_per_param = 4.0) {
+  return (static_cast<double>(params) * bytes_per_param + 256.0) *
+         comm_factor;
 }
 
 }  // namespace groupfel::net

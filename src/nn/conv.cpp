@@ -52,7 +52,7 @@ const Tensor& Conv2d::forward(const Tensor& input, bool train) {
   detail::im2col(input.raw(), n, cin_, h, w, k_, pad_, cols.data());
   auto out_mat = arena.acquire(cout_ * ncols);
   detail::gemm(cout_, ncols, kdim, {weight_.raw(), kdim, 1},
-               {cols.data(), ncols, 1}, out_mat.data());
+               {cols.data(), ncols, 1}, out_mat.data(), sp_);
 
   // out_mat is [Cout][n·how] but the tensor is [n][Cout][how]: swap the two
   // outer dims while adding the bias (contiguous `how`-long spans).
@@ -106,13 +106,13 @@ const Tensor& Conv2d::backward(const Tensor& grad_out) {
   auto cols = arena.acquire(kdim * ncols);
   detail::im2col(x.raw(), n, cin_, h, w, k_, pad_, cols.data());
   detail::gemm_acc(cout_, kdim, ncols, {dy.data(), ncols, 1},
-                   {cols.data(), 1, ncols}, grad_w_.raw());
+                   {cols.data(), 1, ncols}, grad_w_.raw(), sp_);
 
   // dX = col2im(Wᵀ · dY). col2im accumulates, so the reused buffer must be
   // zeroed first (a fresh Tensor used to provide the zeros implicitly).
   auto gcols = arena.acquire(kdim * ncols);
   detail::gemm(kdim, ncols, cout_, {weight_.raw(), 1, kdim},
-               {dy.data(), ncols, 1}, gcols.data());
+               {dy.data(), ncols, 1}, gcols.data(), sp_);
   grad_in_.resize4(n, cin_, h, w);
   grad_in_.zero();
   detail::col2im(gcols.data(), n, cin_, h, w, k_, pad_, grad_in_.raw());
@@ -137,6 +137,7 @@ std::size_t Conv2d::param_count() const {
 
 std::unique_ptr<Layer> Conv2d::clone() const {
   auto copy = std::make_unique<Conv2d>(cin_, cout_, k_, pad_);
+  copy->sp_ = sp_;
   copy->weight_ = weight_;
   copy->bias_ = bias_;
   return copy;

@@ -13,9 +13,21 @@
 // so A·B, A·Bᵀ, and Aᵀ·B share one kernel. Row panels of C are split over
 // runtime::ThreadPool for large shapes; each panel's accumulation order is
 // fixed, so results are bit-identical for any pool size.
+//
+// Mixed precision: gemm/gemm_acc take a StoragePrecision selector. For bf16
+// and fp16 the pack step rounds each operand element once (RNE, via
+// util/half.hpp) and stores it half-width, so the blocked micro-kernel
+// streams half the bytes while still accumulating in fp32. On hosts with
+// AMX-BF16 the bf16 path runs on tile units (TDPBF16PS). Shapes the fp32
+// dispatch would route around the blocked path instead compute on
+// storage-rounded operand copies, so the value semantics — "every operand
+// element passed through the half format exactly once" — hold on every
+// shape, and results remain bit-identical across pool sizes per precision.
 #pragma once
 
 #include <cstddef>
+
+#include "nn/precision.hpp"
 
 namespace groupfel::nn::detail {
 
@@ -28,14 +40,16 @@ struct MatView {
 
 /// C (row-major m×n, leading dimension n) = A(m×k) · B(k×n), overwriting C.
 /// A and B are strided views, so callers express transposes as views of the
-/// untransposed storage.
+/// untransposed storage. `sp` selects the operand storage width (fp32
+/// default; accumulation is always fp32).
 void gemm(std::size_t m, std::size_t n, std::size_t k, MatView a, MatView b,
-          float* c);
+          float* c, StoragePrecision sp = StoragePrecision::kFp32);
 
 /// C += A·B — identical dispatch to gemm() minus the zero-fill. Lets weight
 /// gradients accumulate across micro-batches directly into the gradient
 /// tensor, with no staging buffer and no extra elementwise add pass.
 void gemm_acc(std::size_t m, std::size_t n, std::size_t k, MatView a,
-              MatView b, float* c);
+              MatView b, float* c,
+              StoragePrecision sp = StoragePrecision::kFp32);
 
 }  // namespace groupfel::nn::detail

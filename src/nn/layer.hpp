@@ -58,6 +58,11 @@ class Layer {
   /// Re-randomizes parameters (He initialization where applicable).
   virtual void init(runtime::Rng& rng) { (void)rng; }
 
+  /// Selects the GEMM operand storage width for this layer's forward and
+  /// backward passes (fp32 accumulation regardless). Layers without GEMMs
+  /// keep the default no-op. clone() preserves the setting.
+  virtual void set_compute_precision(StoragePrecision sp) { (void)sp; }
+
   [[nodiscard]] virtual std::string name() const = 0;
 };
 
@@ -76,6 +81,7 @@ class Linear final : public Layer {
   [[nodiscard]] std::size_t param_count() const override;
   [[nodiscard]] std::unique_ptr<Layer> clone() const override;
   void init(runtime::Rng& rng) override;
+  void set_compute_precision(StoragePrecision sp) override { sp_ = sp; }
   [[nodiscard]] std::string name() const override { return "Linear"; }
 
   [[nodiscard]] std::size_t in_features() const noexcept { return in_; }
@@ -83,6 +89,7 @@ class Linear final : public Layer {
 
  private:
   std::size_t in_, out_;
+  StoragePrecision sp_ = StoragePrecision::kFp32;
   Tensor weight_;   // [in, out]
   Tensor bias_;     // [1, out]
   Tensor grad_w_, grad_b_;
@@ -137,10 +144,12 @@ class Conv2d final : public Layer {
   [[nodiscard]] std::size_t param_count() const override;
   [[nodiscard]] std::unique_ptr<Layer> clone() const override;
   void init(runtime::Rng& rng) override;
+  void set_compute_precision(StoragePrecision sp) override { sp_ = sp; }
   [[nodiscard]] std::string name() const override { return "Conv2d"; }
 
  private:
   std::size_t cin_, cout_, k_, pad_;
+  StoragePrecision sp_ = StoragePrecision::kFp32;
   Tensor weight_;  // [Cout, Cin, k, k]
   Tensor bias_;    // [1, Cout]
   Tensor grad_w_, grad_b_;

@@ -28,7 +28,7 @@ const Tensor& Linear::forward(const Tensor& input, bool train) {
            input.shape_string());
   const std::size_t n = input.dim(0);
   out_buf_.resize2(n, out_);
-  matmul(input, weight_, out_buf_);
+  matmul(input, weight_, out_buf_, sp_);
   for (std::size_t i = 0; i < n; ++i)
     for (std::size_t j = 0; j < out_; ++j) out_buf_.at2(i, j) += bias_[j];
   if (train) cached_input_ = input;
@@ -44,7 +44,7 @@ const Tensor& Linear::backward(const Tensor& grad_out) {
            "Linear::backward: grad ", grad_out.shape_string(),
            " does not match cached input ", cached_input_.shape_string());
   // dW += X^T * dY ; db += column sums of dY ; dX = dY * W^T
-  matmul_at_acc(cached_input_, grad_out, grad_w_);
+  matmul_at_acc(cached_input_, grad_out, grad_w_, sp_);
   const float* go = grad_out.raw();
   float* gb = grad_b_.raw();
   for (std::size_t i = 0; i < n; ++i) {
@@ -52,7 +52,7 @@ const Tensor& Linear::backward(const Tensor& grad_out) {
     for (std::size_t j = 0; j < out_; ++j) gb[j] += grow[j];
   }
   grad_in_.resize2(n, in_);
-  matmul_bt(grad_out, weight_, grad_in_);
+  matmul_bt(grad_out, weight_, grad_in_, sp_);
   return grad_in_;
 }
 
@@ -72,6 +72,7 @@ std::size_t Linear::param_count() const { return weight_.size() + bias_.size(); 
 
 std::unique_ptr<Layer> Linear::clone() const {
   auto copy = std::make_unique<Linear>(in_, out_);
+  copy->sp_ = sp_;
   copy->weight_ = weight_;
   copy->bias_ = bias_;
   return copy;

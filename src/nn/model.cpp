@@ -101,6 +101,10 @@ Model Model::clone() const {
   return copy;
 }
 
+void Model::set_compute_precision(StoragePrecision sp) {
+  for (auto& l : layers_) l->set_compute_precision(sp);
+}
+
 void axpy(std::vector<float>& out, std::span<const float> v, float scale) {
   GF_CHECK_EQ(out.size(), v.size(), "axpy");
   for (std::size_t i = 0; i < out.size(); ++i) out[i] += scale * v[i];

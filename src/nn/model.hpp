@@ -67,8 +67,13 @@ class Model {
   void for_each_param(
       util::FunctionRef<void(const Tensor&, const Tensor&)> fn) const;
 
-  /// Deep copy (same parameters, fresh caches).
+  /// Deep copy (same parameters, fresh caches, same compute precision).
   [[nodiscard]] Model clone() const;
+
+  /// Sets the GEMM operand storage width on every layer (see
+  /// Layer::set_compute_precision). Propagated by clone(), so setting it on
+  /// a prototype covers every replica cloned from it.
+  void set_compute_precision(StoragePrecision sp);
 
   [[nodiscard]] std::size_t layer_count() const noexcept {
     return layers_.size();

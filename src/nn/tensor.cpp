@@ -124,39 +124,43 @@ std::string Tensor::shape_string() const {
   return s + "]";
 }
 
-void matmul(const Tensor& a, const Tensor& b, Tensor& out) {
+void matmul(const Tensor& a, const Tensor& b, Tensor& out,
+            StoragePrecision sp) {
   const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
   GF_CHECK(b.dim(0) == k && out.dim(0) == m && out.dim(1) == n,
            "matmul: ", a.shape_string(), " x ", b.shape_string(), " -> ",
            out.shape_string());
-  detail::gemm(m, n, k, {a.raw(), k, 1}, {b.raw(), n, 1}, out.raw());
+  detail::gemm(m, n, k, {a.raw(), k, 1}, {b.raw(), n, 1}, out.raw(), sp);
 }
 
-void matmul_bt(const Tensor& a, const Tensor& b, Tensor& out) {
+void matmul_bt(const Tensor& a, const Tensor& b, Tensor& out,
+               StoragePrecision sp) {
   // out[m, n] = a[m, k] * b[n, k]^T
   const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(0);
   GF_CHECK(b.dim(1) == k && out.dim(0) == m && out.dim(1) == n,
            "matmul_bt: ", a.shape_string(), " x ", b.shape_string(), "^T -> ",
            out.shape_string());
-  detail::gemm(m, n, k, {a.raw(), k, 1}, {b.raw(), 1, k}, out.raw());
+  detail::gemm(m, n, k, {a.raw(), k, 1}, {b.raw(), 1, k}, out.raw(), sp);
 }
 
-void matmul_at(const Tensor& a, const Tensor& b, Tensor& out) {
+void matmul_at(const Tensor& a, const Tensor& b, Tensor& out,
+               StoragePrecision sp) {
   // out[k, n] = a[m, k]^T * b[m, n]
   const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
   GF_CHECK(b.dim(0) == m && out.dim(0) == k && out.dim(1) == n,
            "matmul_at: ", a.shape_string(), "^T x ", b.shape_string(), " -> ",
            out.shape_string());
-  detail::gemm(k, n, m, {a.raw(), 1, k}, {b.raw(), n, 1}, out.raw());
+  detail::gemm(k, n, m, {a.raw(), 1, k}, {b.raw(), n, 1}, out.raw(), sp);
 }
 
-void matmul_at_acc(const Tensor& a, const Tensor& b, Tensor& out) {
+void matmul_at_acc(const Tensor& a, const Tensor& b, Tensor& out,
+                   StoragePrecision sp) {
   // out[k, n] += a[m, k]^T * b[m, n]
   const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
   GF_CHECK(b.dim(0) == m && out.dim(0) == k && out.dim(1) == n,
            "matmul_at_acc: ", a.shape_string(), "^T x ", b.shape_string(),
            " -> ", out.shape_string());
-  detail::gemm_acc(k, n, m, {a.raw(), 1, k}, {b.raw(), n, 1}, out.raw());
+  detail::gemm_acc(k, n, m, {a.raw(), 1, k}, {b.raw(), n, 1}, out.raw(), sp);
 }
 
 void matmul_naive(const Tensor& a, const Tensor& b, Tensor& out) {

@@ -11,6 +11,8 @@
 #include <string>
 #include <vector>
 
+#include "nn/precision.hpp"
+
 namespace groupfel::nn {
 
 /// Process-wide count of Tensor constructions that acquire fresh storage:
@@ -110,19 +112,24 @@ class Tensor {
 
 /// C = A(m×k) · B(k×n) into a [m, n] tensor. Backed by the blocked, packed
 /// GEMM in nn/gemm.cpp; splits row panels over runtime::ThreadPool for
-/// large shapes (bit-identical results for any pool size).
-void matmul(const Tensor& a, const Tensor& b, Tensor& out);
+/// large shapes (bit-identical results for any pool size). `sp` selects the
+/// operand storage width inside the GEMM (fp32 accumulation always).
+void matmul(const Tensor& a, const Tensor& b, Tensor& out,
+            StoragePrecision sp = StoragePrecision::kFp32);
 
 /// C = A(m×k) · Bᵀ where B is (n×k); used by dense backward.
-void matmul_bt(const Tensor& a, const Tensor& b, Tensor& out);
+void matmul_bt(const Tensor& a, const Tensor& b, Tensor& out,
+               StoragePrecision sp = StoragePrecision::kFp32);
 
 /// C = Aᵀ(k×m becomes m rows) · B; used for weight gradients.
-void matmul_at(const Tensor& a, const Tensor& b, Tensor& out);
+void matmul_at(const Tensor& a, const Tensor& b, Tensor& out,
+               StoragePrecision sp = StoragePrecision::kFp32);
 
 /// C += Aᵀ · B. Accumulating form of matmul_at: dense backward adds the
 /// micro-batch weight gradient straight into the gradient tensor instead of
 /// staging it in a weight-sized temporary.
-void matmul_at_acc(const Tensor& a, const Tensor& b, Tensor& out);
+void matmul_at_acc(const Tensor& a, const Tensor& b, Tensor& out,
+                   StoragePrecision sp = StoragePrecision::kFp32);
 
 // Naive triple-loop oracles for the kernels above. Retained as the
 // correctness reference for tests and the baseline for bench/micro_kernels;

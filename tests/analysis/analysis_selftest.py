@@ -42,6 +42,7 @@ ANALYZER_FIXTURES = [
 LINT_FIXTURES = [
     FIXTURES / "wallclock.cpp",
     FIXTURES / "unordered_iteration.cpp",
+    FIXTURES / "half_bitcast.cpp",
 ]
 
 EXPECTED_ANALYZER_ACTIVE = {
@@ -58,16 +59,19 @@ EXPECTED_ANALYZER_SUPPRESSED = {
 EXPECTED_LINT_ACTIVE = {
     "banned-wallclock": 2,
     "unordered-iteration": 2,
+    "half-bitcast": 3,
 }
 EXPECTED_LINT_SUPPRESSED = {
     "banned-wallclock": 1,
     "unordered-iteration": 1,
+    "half-bitcast": 1,
 }
 
 ANALYZER_RULES = ("unordered-iteration", "parallel-float-reduction",
                   "unguarded-field", "missing-guard-annotation")
 LINT_RULES = ("banned-rng", "banned-wallclock", "global-state", "naked-new",
-              "const-cast", "include-guard", "unordered-iteration")
+              "const-cast", "include-guard", "unordered-iteration",
+              "half-bitcast")
 
 failures: list[str] = []
 verbose = "-v" in sys.argv

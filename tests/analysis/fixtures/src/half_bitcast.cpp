@@ -1,0 +1,24 @@
+// Known-bad fixture for lint's `half-bitcast` rule. Purely textual — never
+// compiled. Expected findings: 3 active (one per pattern: convert
+// intrinsic, builtin half type, RNE bias constant), 1 suppressed.
+namespace fixture {
+
+float hand_rolled_convert_bad(unsigned short h) {
+  // FINDING: raw convert intrinsic outside util/half.hpp.
+  return _cvtsh_ss(h);
+}
+
+// FINDING: builtin half type — implicit conversions round invisibly.
+float implicit_round_bad(__bf16 x) { return static_cast<float>(x); }
+
+unsigned to_bf16_hand_rolled_bad(unsigned u) {
+  // FINDING: the RNE bias idiom forks the rounding semantics.
+  return (u + 0x7fff + ((u >> 16) & 1u)) >> 16;
+}
+
+unsigned short hardware_cross_check_ok(float f) {
+  // Deliberate raw conversion: the intrinsic IS what is under test.
+  return _cvtss_sh(f, 0);  // lint:allow(half-bitcast)
+}
+
+}  // namespace fixture

@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "runtime/rng.hpp"
+#include "util/half.hpp"
 
 namespace groupfel::compression {
 namespace {
@@ -16,23 +19,62 @@ std::vector<float> random_update(std::size_t n, std::uint64_t seed) {
 
 TEST(Compression, DenseQuantizationRoundTripsApproximately) {
   const auto v = random_update(512, 1);
-  const auto c = compress(v, {.top_k = 0, .quantize = true});
+  const auto c = compress(v, {.top_k = 0, .codec = Codec::kInt8});
   const auto back = decompress(c);
   ASSERT_EQ(back.size(), v.size());
   // int8 symmetric quantization: relative error well under 1%.
   EXPECT_LT(reconstruction_error(v, back), 0.01);
 }
 
-TEST(Compression, UnquantizedDenseIsExact) {
+TEST(Compression, Float32DenseIsExact) {
   const auto v = random_update(128, 2);
-  const auto c = compress(v, {.top_k = 0, .quantize = false});
+  const auto c = compress(v, {.top_k = 0, .codec = Codec::kFloat32});
   const auto back = decompress(c);
   for (std::size_t i = 0; i < v.size(); ++i) EXPECT_EQ(back[i], v[i]);
 }
 
+TEST(Compression, Fp16DenseRoundsToNearestHalf) {
+  const auto v = random_update(256, 7);
+  const auto c = compress(v, {.top_k = 0, .codec = Codec::kFp16});
+  const auto back = decompress(c);
+  ASSERT_EQ(back.size(), v.size());
+  for (std::size_t i = 0; i < v.size(); ++i)
+    EXPECT_EQ(back[i], util::half::round_fp16(v[i]))
+        << "coefficient " << i << " did not round through binary16";
+  // fp16 has a 10-bit significand: relative error well under 0.1%.
+  EXPECT_LT(reconstruction_error(v, back), 1e-3);
+}
+
+TEST(Compression, Int8SrIsUnbiasedAndDeterministic) {
+  // A value exactly halfway between two codes: SR must split ~50/50 across
+  // coefficient positions while round-to-nearest always picks one side.
+  const float scale_target = 1.27f;  // max |v| -> scale = 0.01
+  std::vector<float> v(4096, 0.0055f);
+  v[0] = scale_target;
+  const CompressorConfig sr_cfg{.top_k = 0, .codec = Codec::kInt8Sr,
+                                .seed = 42};
+  const auto c1 = compress(v, sr_cfg);
+  const auto c2 = compress(v, sr_cfg);
+  // Counter-based stream: same (seed, index) -> identical payloads.
+  EXPECT_EQ(c1.codes, c2.codes);
+
+  const auto back = decompress(c1);
+  double mean = 0.0;
+  for (std::size_t i = 1; i < back.size(); ++i)
+    mean += static_cast<double>(back[i]);
+  mean /= static_cast<double>(back.size() - 1);
+  // E[decoded] = 0.0055 for the unbiased rounder; the deterministic rounder
+  // would give exactly 0.005 or 0.006 everywhere.
+  EXPECT_NEAR(mean, 0.0055, 2e-4);
+
+  const auto c_other = compress(v, {.top_k = 0, .codec = Codec::kInt8Sr,
+                                    .seed = 43});
+  EXPECT_NE(c1.codes, c_other.codes) << "seed must drive the SR stream";
+}
+
 TEST(Compression, TopKKeepsLargestMagnitudes) {
   std::vector<float> v{0.1f, -5.0f, 0.2f, 3.0f, -0.05f};
-  const auto c = compress(v, {.top_k = 2, .quantize = false});
+  const auto c = compress(v, {.top_k = 2, .codec = Codec::kFloat32});
   const auto back = decompress(c);
   EXPECT_NEAR(back[1], -5.0f, 1e-6f);
   EXPECT_NEAR(back[3], 3.0f, 1e-6f);
@@ -43,7 +85,7 @@ TEST(Compression, TopKKeepsLargestMagnitudes) {
 
 TEST(Compression, TopKPlusQuantization) {
   const auto v = random_update(1024, 3);
-  const auto c = compress(v, {.top_k = 100, .quantize = true});
+  const auto c = compress(v, {.top_k = 100, .codec = Codec::kInt8});
   const auto back = decompress(c);
   // Kept coordinates are approximately right.
   std::size_t nonzero = 0;
@@ -54,32 +96,122 @@ TEST(Compression, TopKPlusQuantization) {
 TEST(Compression, WireBytesShrinkWithCompression) {
   const auto v = random_update(4096, 4);
   const std::size_t raw = 4096 * 4;
-  const auto dense_q = compress(v, {.top_k = 0, .quantize = true});
-  const auto sparse_q = compress(v, {.top_k = 256, .quantize = true});
+  const auto dense_q = compress(v, {.top_k = 0, .codec = Codec::kInt8});
+  const auto dense_h = compress(v, {.top_k = 0, .codec = Codec::kFp16});
+  const auto sparse_q = compress(v, {.top_k = 256, .codec = Codec::kInt8});
   EXPECT_LT(dense_q.wire_bytes(), raw / 3);
+  EXPECT_LT(dense_h.wire_bytes(), raw * 0.51 + 32);
   EXPECT_LT(sparse_q.wire_bytes(), dense_q.wire_bytes());
+}
+
+// Satellite: exact wire_bytes accounting for every codec x top_k combo —
+// header (17 B) + 4 B per explicit index + code_bytes(codec) per retained
+// coefficient, nothing hidden.
+TEST(Compression, ExactWireBytesForEveryConfig) {
+  const std::size_t n = 256;
+  const auto v = random_update(n, 8);
+  constexpr std::size_t kHeader = 4 + 4 + 1 + 4 + 4;
+  for (const Codec codec : {Codec::kFloat32, Codec::kInt8, Codec::kInt8Sr,
+                            Codec::kFp16}) {
+    for (const std::size_t top_k : {std::size_t{0}, std::size_t{1},
+                                    std::size_t{32}, n, n + 50}) {
+      const auto c = compress(v, {.top_k = top_k, .codec = codec, .seed = 5});
+      const bool sparse = top_k > 0 && top_k < n;
+      const std::size_t retained = sparse ? top_k : n;
+      const std::size_t expected = kHeader + (sparse ? retained * 4 : 0) +
+                                   retained * code_bytes(codec);
+      EXPECT_EQ(c.wire_bytes(), expected)
+          << to_string(codec) << " top_k=" << top_k;
+      // And the payload reconstructs to the right length every time.
+      EXPECT_EQ(decompress(c).size(), n);
+    }
+  }
 }
 
 TEST(Compression, TopKLargerThanVectorFallsBackToDense) {
   const auto v = random_update(16, 5);
-  const auto c = compress(v, {.top_k = 100, .quantize = true});
+  const auto c = compress(v, {.top_k = 100, .codec = Codec::kInt8});
   EXPECT_TRUE(c.indices.empty());
   EXPECT_EQ(decompress(c).size(), 16u);
 }
 
-TEST(Compression, AllZeroUpdate) {
-  const std::vector<float> v(64, 0.0f);
-  const auto c = compress(v, {.top_k = 8, .quantize = true});
-  EXPECT_EQ(c.scale, 0.0f);
+// Satellite edge case: top_k exactly equal to the vector size is dense.
+TEST(Compression, TopKEqualToSizeIsDense) {
+  const auto v = random_update(64, 9);
+  const auto c = compress(v, {.top_k = 64, .codec = Codec::kFp16});
+  EXPECT_TRUE(c.indices.empty());
   const auto back = decompress(c);
-  for (float x : back) EXPECT_EQ(x, 0.0f);
+  for (std::size_t i = 0; i < v.size(); ++i)
+    EXPECT_EQ(back[i], util::half::round_fp16(v[i]));
+}
+
+// Satellite edge case: single-element vectors under every codec.
+TEST(Compression, SingleElementVector) {
+  const std::vector<float> v{-0.75f};
+  for (const Codec codec : {Codec::kFloat32, Codec::kInt8, Codec::kInt8Sr,
+                            Codec::kFp16}) {
+    const auto c = compress(v, {.top_k = 0, .codec = codec, .seed = 11});
+    const auto back = decompress(c);
+    ASSERT_EQ(back.size(), 1u) << to_string(codec);
+    // -0.75 is exact in fp16; for int8 it is the max-magnitude element so it
+    // maps to code -127 and back exactly (SR included: frac == 0).
+    EXPECT_NEAR(back[0], -0.75f, 1e-6f) << to_string(codec);
+  }
+}
+
+// Satellite edge case: the all-zero vector codes to scale 0 for the int8
+// family and to zero payloads for the direct-value codecs.
+TEST(Compression, AllZeroUpdateEveryCodec) {
+  const std::vector<float> v(64, 0.0f);
+  for (const Codec codec : {Codec::kInt8, Codec::kInt8Sr}) {
+    const auto c = compress(v, {.top_k = 8, .codec = codec});
+    EXPECT_EQ(c.scale, 0.0f) << to_string(codec);
+    for (float x : decompress(c)) EXPECT_EQ(x, 0.0f);
+  }
+  for (const Codec codec : {Codec::kFloat32, Codec::kFp16}) {
+    const auto c = compress(v, {.top_k = 8, .codec = codec});
+    for (float x : decompress(c)) EXPECT_EQ(x, 0.0f);
+  }
+}
+
+TEST(Compression, DecompressIntoMatchesDecompress) {
+  const auto v = random_update(300, 12);
+  std::vector<float> buf(300, 123.0f);  // stale garbage must be overwritten
+  for (const Codec codec : {Codec::kFloat32, Codec::kInt8, Codec::kInt8Sr,
+                            Codec::kFp16}) {
+    const auto c = compress(v, {.top_k = 50, .codec = codec, .seed = 3});
+    const auto fresh = decompress(c);
+    decompress_into(c, buf);
+    EXPECT_EQ(buf, fresh) << to_string(codec);
+  }
+}
+
+TEST(Compression, DecompressIntoRejectsWrongBufferSize) {
+  const auto v = random_update(32, 13);
+  const auto c = compress(v, {.top_k = 0, .codec = Codec::kInt8});
+  std::vector<float> small(31);
+  EXPECT_THROW(decompress_into(c, small), std::invalid_argument);
+}
+
+TEST(Compression, WireRoundTripMatchesCompressDecompress) {
+  // The trainer's in-place path must produce exactly the values a receiver
+  // reconstructs from the dense CompressedUpdate payload.
+  const auto v = random_update(200, 14);
+  for (const Codec codec : {Codec::kFloat32, Codec::kFp16, Codec::kInt8,
+                            Codec::kInt8Sr}) {
+    const auto dense = decompress(compress(v, {.top_k = 0, .codec = codec,
+                                               .seed = 77}));
+    std::vector<float> in_place = v;
+    wire_round_trip(in_place, codec, 77);
+    EXPECT_EQ(in_place, dense) << to_string(codec);
+  }
 }
 
 TEST(Compression, ErrorDecreasesWithK) {
   const auto v = random_update(1000, 6);
   double prev = 1.0;
   for (std::size_t k : {50u, 200u, 800u}) {
-    const auto c = compress(v, {.top_k = k, .quantize = true});
+    const auto c = compress(v, {.top_k = k, .codec = Codec::kInt8});
     const double err = reconstruction_error(v, decompress(c));
     EXPECT_LT(err, prev + 1e-9);
     prev = err;
@@ -90,14 +222,14 @@ TEST(Compression, DecompressRejectsMalformed) {
   CompressedUpdate bad;
   bad.dense_size = 4;
   bad.scale = 1.0f;
-  bad.quantized = true;
+  bad.codec = Codec::kInt8;
   bad.codes = {1, 2};  // retained should be 4
   EXPECT_THROW((void)decompress(bad), std::invalid_argument);
 
   CompressedUpdate oob;
   oob.dense_size = 4;
   oob.scale = 1.0f;
-  oob.quantized = true;
+  oob.codec = Codec::kInt8;
   oob.indices = {9};
   oob.codes = {1};
   EXPECT_THROW((void)decompress(oob), std::invalid_argument);
