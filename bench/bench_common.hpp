@@ -9,10 +9,14 @@
 // Every driver calls bench::init(argc, argv) first, which parses the uniform
 // flag set (the GROUPFEL_BENCH_* environment variables remain as fallback):
 //   --scale=F --rounds=N --seeds=N --budget=F --threads=N --out-dir=DIR
-//   --serial-cells
+//   --serial-cells --backend=inproc|proc --workers=N --checkpoint=PATH
+//   --resume --progress=SECONDS
 // Seed loops and method loops execute as one sweep over the shared
 // ThreadPool via core::run_sweep (bit-identical to the historical serial
 // loops); --serial-cells restores serial cell execution for A/B timing.
+// --backend=proc forks --workers processes and streams cells to them over
+// the wire protocol; with --checkpoint (+ --resume) a killed run restarts
+// from its completed cells. All modes produce bit-identical results.
 #pragma once
 
 #include <cstdlib>
@@ -43,8 +47,21 @@ struct BenchOptions {
   double budget = -1.0;  ///< < 0: derived from scale (see bench_budget)
   std::string out_dir = "groupfel_results";
   bool serial_cells = false;
+  core::SweepBackend backend = core::SweepBackend::kInProcess;
+  std::size_t workers = 0;      ///< proc backend; 0 = hardware concurrency
+  std::string checkpoint;       ///< journal path; empty = no checkpointing
+  bool resume = false;          ///< reload completed cells from `checkpoint`
+  double progress = 0.0;        ///< progress log interval; 0 = quiet
   std::unique_ptr<runtime::ThreadPool> owned_pool;  ///< set by --threads
 };
+
+/// "inproc" or "proc" -> SweepBackend (exits with a message otherwise).
+inline core::SweepBackend parse_backend(const std::string& name) {
+  if (name == "inproc") return core::SweepBackend::kInProcess;
+  if (name == "proc") return core::SweepBackend::kProcess;
+  std::cerr << "unknown --backend '" << name << "' (expected inproc|proc)\n";
+  std::exit(2);
+}
 
 inline BenchOptions& options() {
   static BenchOptions opts = [] {
@@ -60,6 +77,16 @@ inline BenchOptions& options() {
     if (const char* env = std::getenv("GROUPFEL_BENCH_OUT")) o.out_dir = env;
     if (const char* env = std::getenv("GROUPFEL_BENCH_SERIAL"))
       o.serial_cells = std::atoi(env) != 0;
+    if (const char* env = std::getenv("GROUPFEL_BENCH_BACKEND"))
+      o.backend = parse_backend(env);
+    if (const char* env = std::getenv("GROUPFEL_BENCH_WORKERS"))
+      o.workers = static_cast<std::size_t>(std::atoll(env));
+    if (const char* env = std::getenv("GROUPFEL_BENCH_CHECKPOINT"))
+      o.checkpoint = env;
+    if (const char* env = std::getenv("GROUPFEL_BENCH_RESUME"))
+      o.resume = std::atoi(env) != 0;
+    if (const char* env = std::getenv("GROUPFEL_BENCH_PROGRESS"))
+      o.progress = std::atof(env);
     return o;
   }();
   return opts;
@@ -87,6 +114,13 @@ inline util::Flags init(int argc, char** argv) {
   o.budget = flags.get_double("budget", o.budget);
   o.out_dir = flags.get_string("out-dir", o.out_dir);
   o.serial_cells = flags.get_bool("serial-cells", o.serial_cells);
+  const std::string backend = flags.get_string("backend", "");
+  if (!backend.empty()) o.backend = parse_backend(backend);
+  o.workers = static_cast<std::size_t>(
+      flags.get_int("workers", static_cast<std::int64_t>(o.workers)));
+  o.checkpoint = flags.get_string("checkpoint", o.checkpoint);
+  o.resume = flags.get_bool("resume", o.resume);
+  o.progress = flags.get_double("progress", o.progress);
   const std::int64_t threads = flags.get_int("threads", -1);
   if (threads >= 0)
     o.owned_pool =
@@ -110,6 +144,11 @@ inline core::SweepOptions sweep_options() {
   core::SweepOptions opts;
   opts.pool = bench_pool();
   opts.serial_cells = options().serial_cells;
+  opts.backend = options().backend;
+  opts.workers = options().workers;
+  opts.checkpoint_path = options().checkpoint;
+  opts.resume = options().resume;
+  opts.progress_every_seconds = options().progress;
   return opts;
 }
 

@@ -1,20 +1,28 @@
 // Experiment-throughput benchmark — the tentpole gate for the concurrent
-// sweep scheduler + zero-alloc minibatch pipeline.
+// sweep scheduler, the multi-process backend, and the zero-alloc minibatch
+// pipeline.
 //
-// Three A/B measurements:
+// Four A/B measurements:
 //   1. A fig9-style 6-cell sweep (six methods, one federation) executed
 //      serially vs scheduled over an 8-thread pool via core::run_sweep.
 //      Per-cell histories must be bit-identical; the JSON reports the
 //      wall-clock speedup (acceptance: >= 2x).
-//   2. DataSet::gather (fresh Batch per call) vs gather_into (caller-owned
+//   2. The same sweep through SweepBackend::kProcess (forked workers fed
+//      over the wire protocol) — bit-identical again; the JSON records a
+//      per-backend row so multi-core hosts show the process-level speedup.
+//   3. DataSet::gather (fresh Batch per call) vs gather_into (caller-owned
 //      Batch). Steady-state gather_into must perform zero heap allocations.
-//   3. run_local_sgd with reuse_batch_buffers on vs off. A steady-state
+//   4. run_local_sgd with reuse_batch_buffers on vs off. A steady-state
 //      call (warm thread-local scratch, warm layer buffers) must perform
 //      zero tensor constructions and zero heap allocations.
 //
 //   ./sweep_throughput            timed A/B run, writes BENCH_sweep.json
-//   ./sweep_throughput --smoke    fast bit-identity + zero-alloc gate for
-//                                 ctest (tiny topology, no JSON)
+//   ./sweep_throughput --smoke    fast bit-identity + zero-alloc + journal
+//                                 resume gate for ctest (tiny topology, no
+//                                 JSON); --backend=proc --smoke is the CI
+//                                 spelling that exercises the fork path
+//                                 explicitly (accepts the uniform bench
+//                                 flags either way)
 #include <atomic>
 #include <cstdlib>
 #include <fstream>
@@ -291,11 +299,25 @@ SgdStats sgd_ab(const core::Experiment& exp, std::size_t reps) {
 // ---- JSON ----------------------------------------------------------------
 
 void write_json(double legacy_s, double serial_s, double sched_s,
-                const GatherStats& gs, const SgdStats& ss, std::size_t cells,
-                std::size_t threads, std::size_t clients) {
+                double proc_s, std::size_t proc_workers, const GatherStats& gs,
+                const SgdStats& ss, std::size_t cells, std::size_t threads,
+                std::size_t clients) {
   const std::string path = "BENCH_sweep.json";
+  const auto backend_row = [&](const char* name, std::size_t parallelism,
+                               const char* parallelism_key, double seconds) {
+    return std::string("{\"name\": \"") + name + "\", \"" + parallelism_key +
+           "\": " + std::to_string(parallelism) +
+           ", \"seconds\": " + util::format_double(seconds) +
+           ", \"cells_per_sec\": " +
+           util::format_double(static_cast<double>(cells) / seconds) +
+           ", \"speedup_vs_serial\": " +
+           util::format_double(serial_s / seconds) +
+           ", \"speedup_vs_inproc\": " +
+           util::format_double(sched_s / seconds) + "}";
+  };
+  const std::size_t hw = std::thread::hardware_concurrency();
   std::ofstream out(path);
-  out << "{\n  \"schema\": \"groupfel-sweep-bench-v1\",\n"
+  out << "{\n  \"schema\": \"groupfel-sweep-bench-v2\",\n"
       << "  \"context\": " << bench::hardware_context_json() << ",\n"
       << "  \"sweep\": {\"cells\": " << cells << ", \"threads\": " << threads
       << ", \"clients\": " << clients
@@ -306,6 +328,21 @@ void write_json(double legacy_s, double serial_s, double sched_s,
       << ", \"speedup_vs_legacy_loop\": "
       << util::format_double(legacy_s / sched_s)
       << ", \"histories_bit_identical\": true},\n"
+      << "  \"backends\": [\n"
+      << "    " << backend_row("serial", 1, "threads", serial_s) << ",\n"
+      << "    " << backend_row("inproc", threads, "threads", sched_s) << ",\n"
+      << "    " << backend_row("proc", proc_workers, "workers", proc_s)
+      << "\n  ],\n"
+      << "  \"backend_note\": "
+      << (hw <= 1
+              ? "\"single-core host (hardware_threads = 1): every backend "
+                "multiplexes one core, so proc-backend speedup over inproc "
+                "reflects fork/IPC overhead only; re-run on a multi-core "
+                "host to measure the process-level speedup\""
+              : "\"proc workers run one cell at a time with an inline "
+                "worker pool; speedups are wall-clock vs the serial cell "
+                "loop on this host\"")
+      << ",\n"
       << "  \"gather\": {\"alloc_ns_per_call\": "
       << util::format_double(gs.alloc_ns_per_call)
       << ", \"into_ns_per_call\": "
@@ -336,7 +373,8 @@ void write_json(double legacy_s, double serial_s, double sched_s,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const bool smoke = argc > 1 && std::string(argv[1]) == "--smoke";
+  const util::Flags flags = bench::init(argc, argv);
+  const bool smoke = flags.get_bool("smoke", false);
 
   core::ExperimentSpec spec;
   spec.num_clients = smoke ? 24 : 48;
@@ -367,6 +405,42 @@ int main(int argc, char** argv) {
     return fail("scheduled sweep diverged from the serial loop");
   if (!sweeps_identical(legacy, sched))
     return fail("engine sweep diverged from the pre-PR driver loop");
+
+  // Process backend: the same cells through forked workers over the wire
+  // protocol. Worker count from --workers (default: hardware concurrency).
+  const std::size_t hw = std::thread::hardware_concurrency();
+  const std::size_t proc_workers = bench::options().workers != 0
+                                       ? bench::options().workers
+                                       : (hw != 0 ? hw : 1);
+  core::SweepOptions proc_opts;
+  proc_opts.backend = core::SweepBackend::kProcess;
+  proc_opts.workers = proc_workers;
+  const core::SweepRunResult procs = core::run_sweep(cells, proc_opts);
+  if (!sweeps_identical(serial, procs))
+    return fail("process-backend sweep diverged from the serial loop");
+
+  if (smoke) {
+    // Journal + resume gate on real bench cells: a journaled multi-worker
+    // run followed by a --resume run that must re-execute nothing and stay
+    // bit-identical.
+    const char* ckpt = "/tmp/groupfel_bench_sweep_ckpt.bin";
+    std::remove(ckpt);
+    core::SweepOptions journaled = proc_opts;
+    journaled.workers = 4;
+    journaled.checkpoint_path = ckpt;
+    const core::SweepRunResult first = core::run_sweep(cells, journaled);
+    if (!sweeps_identical(serial, first))
+      return fail("4-worker process sweep diverged from the serial loop");
+    journaled.resume = true;
+    const core::SweepRunResult resumed = core::run_sweep(cells, journaled);
+    std::remove(ckpt);
+    if (resumed.cells_from_checkpoint != cells.size())
+      return fail("resume re-ran " +
+                  std::to_string(cells.size() - resumed.cells_from_checkpoint) +
+                  " cells against a complete journal (expected 0)");
+    if (!sweeps_identical(serial, resumed))
+      return fail("resumed sweep diverged from the serial loop");
+  }
 
   const core::Experiment exp = core::build_experiment(spec);
   const GatherStats gs = gather_ab(*exp.train_set, smoke ? 50 : 2000);
@@ -402,6 +476,10 @@ int main(int argc, char** argv) {
             << util::format_double(legacy.total_seconds /
                                    sched.total_seconds)
             << "x)\n"
+            << "  proc      " << util::format_double(procs.total_seconds)
+            << " s  (" << proc_workers << " workers, vs serial "
+            << util::format_double(serial.total_seconds / procs.total_seconds)
+            << "x)\n"
             << "  gather " << util::format_double(gs.alloc_ns_per_call)
             << " ns/call (" << util::format_double(gs.alloc_allocs_per_call)
             << " allocs) vs gather_into "
@@ -418,7 +496,7 @@ int main(int argc, char** argv) {
 
   if (!smoke)
     write_json(legacy.total_seconds, serial.total_seconds,
-               sched.total_seconds, gs, ss, cells.size(), threads,
-               spec.num_clients);
+               sched.total_seconds, procs.total_seconds, proc_workers, gs, ss,
+               cells.size(), threads, spec.num_clients);
   return 0;
 }

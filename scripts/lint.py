@@ -23,6 +23,9 @@ generic tool checks. Rules are classes over `scripts/analysis_core.py` —
                        intrinsics, __bf16/_Float16 builtin types, the RNE
                        bias constant) outside util/half.hpp, which owns the
                        rounding semantics.
+  raw-process-syscalls fork()/exec*()/pipe()/waitpid() outside
+                       src/runtime/proc/, which owns the fd-discipline and
+                       fork-safety invariants of the process backend.
 
 Suppression: append `// lint:allow(<rule>)` to the offending line (or the
 line directly above) with a justification nearby (policy in
@@ -284,6 +287,48 @@ _mm512_dpbf16_ps) are fine — they do not convert. Suppress with
         return out
 
 
+class RawProcessSyscallsRule(Rule):
+    name = "raw-process-syscalls"
+    explain = """
+Raw process-management syscalls — fork()/vfork(), the exec*() family,
+pipe()/pipe2(), waitpid() — outside src/runtime/proc/. The process sweep
+backend concentrates some easy-to-get-wrong invariants in runtime/proc:
+fork-safety (a forked child of a multithreaded parent may only touch
+async-signal-safe state, so workers must never inherit a live ThreadPool),
+sibling-fd hygiene (each child closes the parent-side fds of previously
+spawned workers, or parent death stops producing EOF on worker stdin),
+EINTR retry loops, SIGPIPE suppression, and zombie reaping. A raw fork or
+pipe elsewhere silently re-opens each of those holes. Use proc::Subprocess,
+proc::wait_any_readable, and the runtime/proc wire helpers instead; if a
+test must exercise the raw syscall itself, suppress with
+`// lint:allow(raw-process-syscalls)` and a justification.
+"""
+
+    PATTERNS = [
+        # POSIX fork takes no arguments; the empty-paren anchor keeps
+        # runtime::Rng::fork(salt) — stream forking — out of scope.
+        (re.compile(r"(?<![\w:.])v?fork\s*\(\s*\)"), "fork()"),
+        (re.compile(r"(?<![\w:.])exec(?:[lv][pe]{0,2})\s*\("),
+         "exec*()"),
+        (re.compile(r"(?<![\w:.])pipe2?\s*\("), "pipe()"),
+        (re.compile(r"(?<![\w:.])waitpid\s*\("), "waitpid()"),
+    ]
+
+    def check(self, ctx: FileContext) -> list[Finding]:
+        if "proc" in ctx.path.parts and "runtime" in ctx.path.parts:
+            return []  # the one place allowed to own process lifecycles
+        out = []
+        for lineno, text in enumerate(ctx.clean_lines, start=1):
+            for pat, label in self.PATTERNS:
+                if pat.search(text):
+                    out.append(self.finding(
+                        ctx, lineno,
+                        f"raw {label} outside src/runtime/proc/; use "
+                        "proc::Subprocess / proc::wait_any_readable so "
+                        "fork-safety and fd discipline stay in one place"))
+        return out
+
+
 RULES: list[Rule] = [
     BannedRngRule(),
     BannedWallclockRule(),
@@ -293,6 +338,7 @@ RULES: list[Rule] = [
     IncludeGuardRule(),
     UnorderedIterationRule(),
     HalfBitcastRule(),
+    RawProcessSyscallsRule(),
 ]
 
 

@@ -6,15 +6,6 @@
 
 namespace groupfel::nn {
 
-std::uint64_t fnv1a(std::span<const std::byte> bytes) {
-  std::uint64_t hash = 0xcbf29ce484222325ull;
-  for (std::byte b : bytes) {
-    hash ^= static_cast<std::uint64_t>(b);
-    hash *= 0x100000001b3ull;
-  }
-  return hash;
-}
-
 void save_checkpoint(const std::string& path, std::span<const float> params) {
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   if (!out) throw std::runtime_error("save_checkpoint: cannot open " + path);

@@ -1,8 +1,14 @@
-// Model checkpointing: a small self-describing binary format for flat
-// parameter vectors, so trained global models survive across processes
-// (examples save, downstream tools load).
+// Model checkpointing and binary struct codecs.
 //
-// Layout (little-endian):
+// Two layers share one discipline (magic + FNV-1a checksum, verified on
+// every load):
+//   * the flat-parameter checkpoint format below, so trained global models
+//     survive across processes (examples save, downstream tools load);
+//   * ByteWriter/ByteReader, the primitive codec the sweep wire protocol
+//     builds struct serializers on (core/sweep_codec.hpp) — framing and
+//     checksums are added by runtime/proc/wire.hpp around these payloads.
+//
+// Checkpoint layout (little-endian):
 //   magic   u64   0x4746454C'43505431 ("GFEL" "CPT1")
 //   count   u64   number of float32 parameters
 //   crc     u64   FNV-1a over the raw parameter bytes
@@ -10,9 +16,13 @@
 #pragma once
 
 #include <cstdint>
+#include <cstring>
 #include <span>
+#include <stdexcept>
 #include <string>
 #include <vector>
+
+#include "runtime/proc/wire.hpp"
 
 namespace groupfel::nn {
 
@@ -25,7 +35,126 @@ void save_checkpoint(const std::string& path, std::span<const float> params);
 /// truncation, or checksum mismatch.
 [[nodiscard]] std::vector<float> load_checkpoint(const std::string& path);
 
-/// FNV-1a over arbitrary bytes (exposed for tests).
-[[nodiscard]] std::uint64_t fnv1a(std::span<const std::byte> bytes);
+/// FNV-1a over arbitrary bytes (exposed for tests). Same function the wire
+/// protocol frames use — delegates to runtime::proc::fnv1a.
+[[nodiscard]] inline std::uint64_t fnv1a(std::span<const std::byte> bytes) {
+  return runtime::proc::fnv1a(bytes);
+}
+
+// ---- Primitive byte codec -------------------------------------------------
+//
+// Fixed-width scalars are memcpy'd in native byte order (payloads never
+// cross machines: they cross a pipe between a forked worker and its parent,
+// or a checkpoint restart on the same host). Sequences are length-prefixed
+// with u64 counts. ByteReader throws std::runtime_error on any overrun, so
+// a truncated or mismatched payload is always a diagnosable error, never a
+// silent misread.
+
+class ByteWriter {
+ public:
+  void u8(std::uint8_t v) { raw(&v, sizeof(v)); }
+  void u32(std::uint32_t v) { raw(&v, sizeof(v)); }
+  void u64(std::uint64_t v) { raw(&v, sizeof(v)); }
+  void f32(float v) { raw(&v, sizeof(v)); }
+  void f64(double v) { raw(&v, sizeof(v)); }
+  void boolean(bool v) { u8(v ? 1 : 0); }
+  void size(std::size_t v) { u64(static_cast<std::uint64_t>(v)); }
+
+  void str(const std::string& s) {
+    size(s.size());
+    raw(s.data(), s.size());
+  }
+
+  void f32_span(std::span<const float> v) {
+    size(v.size());
+    raw(v.data(), v.size_bytes());
+  }
+
+  [[nodiscard]] const std::vector<std::byte>& bytes() const noexcept {
+    return buf_;
+  }
+  [[nodiscard]] std::vector<std::byte> take() noexcept {
+    return std::move(buf_);
+  }
+
+ private:
+  void raw(const void* p, std::size_t n) {
+    const auto* b = static_cast<const std::byte*>(p);
+    buf_.insert(buf_.end(), b, b + n);
+  }
+
+  std::vector<std::byte> buf_;
+};
+
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::byte> buf) noexcept : buf_(buf) {}
+
+  [[nodiscard]] std::uint8_t u8() { return scalar<std::uint8_t>(); }
+  [[nodiscard]] std::uint32_t u32() { return scalar<std::uint32_t>(); }
+  [[nodiscard]] std::uint64_t u64() { return scalar<std::uint64_t>(); }
+  [[nodiscard]] float f32() { return scalar<float>(); }
+  [[nodiscard]] double f64() { return scalar<double>(); }
+  [[nodiscard]] bool boolean() { return u8() != 0; }
+  /// Plain integer value (cell index, group size, ...) — NOT a length
+  /// prefix; use count() when the value sizes a following sequence.
+  [[nodiscard]] std::size_t size() { return static_cast<std::size_t>(u64()); }
+
+  /// Length prefix for a sequence whose elements occupy at least
+  /// `min_elem_bytes` each, bounded by the bytes actually present — a
+  /// corrupt count fails cleanly instead of driving a huge allocation.
+  [[nodiscard]] std::size_t count(std::size_t min_elem_bytes) {
+    const std::uint64_t n = u64();
+    if (min_elem_bytes == 0 || n > remaining() / min_elem_bytes)
+      throw std::runtime_error("ByteReader: sequence longer than payload");
+    return static_cast<std::size_t>(n);
+  }
+
+  [[nodiscard]] std::string str() {
+    const std::size_t n = count(1);
+    std::string s(n, '\0');
+    raw(s.data(), n);
+    return s;
+  }
+
+  [[nodiscard]] std::vector<float> f32_vec() {
+    const std::size_t n = count(sizeof(float));
+    std::vector<float> v(n);
+    raw(v.data(), n * sizeof(float));
+    return v;
+  }
+
+  [[nodiscard]] std::size_t remaining() const noexcept {
+    return buf_.size() - pos_;
+  }
+  [[nodiscard]] bool done() const noexcept { return remaining() == 0; }
+
+  /// Throws unless the payload was consumed exactly — catches codec drift
+  /// (struct gained a field one side doesn't know about).
+  void expect_done() const {
+    if (!done())
+      throw std::runtime_error(
+          "ByteReader: " + std::to_string(remaining()) +
+          " unconsumed payload bytes (codec version mismatch?)");
+  }
+
+ private:
+  template <typename T>
+  [[nodiscard]] T scalar() {
+    T v;
+    raw(&v, sizeof(T));
+    return v;
+  }
+
+  void raw(void* out, std::size_t n) {
+    if (remaining() < n)
+      throw std::runtime_error("ByteReader: truncated payload");
+    std::memcpy(out, buf_.data() + pos_, n);
+    pos_ += n;
+  }
+
+  std::span<const std::byte> buf_;
+  std::size_t pos_ = 0;
+};
 
 }  // namespace groupfel::nn

@@ -43,6 +43,7 @@ LINT_FIXTURES = [
     FIXTURES / "wallclock.cpp",
     FIXTURES / "unordered_iteration.cpp",
     FIXTURES / "half_bitcast.cpp",
+    FIXTURES / "raw_process.cpp",
 ]
 
 EXPECTED_ANALYZER_ACTIVE = {
@@ -60,18 +61,20 @@ EXPECTED_LINT_ACTIVE = {
     "banned-wallclock": 2,
     "unordered-iteration": 2,
     "half-bitcast": 3,
+    "raw-process-syscalls": 4,
 }
 EXPECTED_LINT_SUPPRESSED = {
     "banned-wallclock": 1,
     "unordered-iteration": 1,
     "half-bitcast": 1,
+    "raw-process-syscalls": 1,
 }
 
 ANALYZER_RULES = ("unordered-iteration", "parallel-float-reduction",
                   "unguarded-field", "missing-guard-annotation")
 LINT_RULES = ("banned-rng", "banned-wallclock", "global-state", "naked-new",
               "const-cast", "include-guard", "unordered-iteration",
-              "half-bitcast")
+              "half-bitcast", "raw-process-syscalls")
 
 failures: list[str] = []
 verbose = "-v" in sys.argv

@@ -1,0 +1,27 @@
+// Known-bad fixture for lint's `raw-process-syscalls` rule. Purely textual —
+// never compiled. Expected findings: 4 active (one per pattern: fork, exec
+// family, pipe, waitpid), 1 suppressed.
+namespace fixture {
+
+int spawn_worker_bad() {
+  int fds[2];
+  // FINDING: raw pipe() outside src/runtime/proc/ skips the fd discipline.
+  pipe2(fds, 0);
+  // FINDING: raw fork() of a multithreaded parent outside runtime/proc.
+  const int pid = fork();
+  if (pid == 0) {
+    // FINDING: raw exec outside runtime/proc loses the sibling-fd hygiene.
+    execvp("worker", nullptr);
+  }
+  int status = 0;
+  // FINDING: raw waitpid() outside runtime/proc forks the reaping logic.
+  waitpid(pid, &status, 0);
+  return status;
+}
+
+int fork_crash_check_ok() {
+  // Deliberate raw fork: the syscall's own semantics ARE what is under test.
+  return fork();  // lint:allow(raw-process-syscalls)
+}
+
+}  // namespace fixture
