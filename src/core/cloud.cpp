@@ -4,7 +4,8 @@
 
 namespace groupfel::core {
 
-void Cloud::set_groups(std::vector<FormedGroup> groups) {
+void Cloud::set_groups(std::vector<FormedGroup> groups,
+                       runtime::ThreadPool* pool) {
   groups_ = std::move(groups);
   GF_CHECK(!groups_.empty(), "Cloud: no groups");
   std::vector<double> covs;
@@ -14,9 +15,10 @@ void Cloud::set_groups(std::vector<FormedGroup> groups) {
     covs.push_back(g.cov);
     group_sizes_.push_back(g.data_count);
   }
-  // Streaming Eq. 34: one O(n) pass with a compensated normalizer, reusing
-  // p_'s storage across regroupings.
-  sampling::sampling_probabilities_into(sampling_, covs, p_);
+  // Blocked Eq. 34: per-block Kahan partials combined in block order,
+  // reusing p_'s storage across regroupings; bit-identical for any pool.
+  sampling::sampling_probabilities_into(sampling_, covs, p_,
+                                        sampling::kDefaultCovFloor, pool);
 }
 
 std::vector<std::size_t> Cloud::sample(std::size_t s,

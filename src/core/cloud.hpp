@@ -18,8 +18,10 @@ class Cloud {
         sampling::AggregationMode aggregation_mode)
       : sampling_(sampling_method), aggregation_(aggregation_mode) {}
 
-  /// Registers the formed groups and computes p (Eq. 34).
-  void set_groups(std::vector<FormedGroup> groups);
+  /// Registers the formed groups and computes p (Eq. 34) via the blocked
+  /// parallel reduction — bit-identical for any `pool`, including nullptr.
+  void set_groups(std::vector<FormedGroup> groups,
+                  runtime::ThreadPool* pool = nullptr);
 
   [[nodiscard]] const std::vector<FormedGroup>& groups() const noexcept {
     return groups_;

@@ -23,8 +23,11 @@ struct FormedGroup {
 /// hist[s] = number of groups with exactly s members. At fleet scale this
 /// replaces per-group inspection: one O(groups) pass, then any size
 /// statistic (and the scale bench's distribution plot) reads the histogram.
+/// `pool` shards the pass into fixed group blocks whose integer partials
+/// merge in block order — bit-identical for any pool size.
 [[nodiscard]] std::vector<std::size_t> group_size_histogram(
-    std::span<const FormedGroup> groups);
+    std::span<const FormedGroup> groups,
+    runtime::ThreadPool* pool = nullptr);
 
 class EdgeServer {
  public:
@@ -38,10 +41,12 @@ class EdgeServer {
 
   /// Runs the configured grouping method over this edge's clients.
   /// `global_matrix` is the full label matrix indexed by global client id.
+  /// `pool` drives the grouping-internal parallelism (parallel windows,
+  /// CDG bucketing); bit-identical for any pool size.
   [[nodiscard]] std::vector<FormedGroup> form_groups(
       const data::LabelMatrix& global_matrix,
       grouping::GroupingMethod method, const grouping::GroupingParams& params,
-      runtime::Rng& rng) const;
+      runtime::Rng& rng, runtime::ThreadPool* pool = nullptr) const;
 
  private:
   std::size_t id_;

@@ -8,7 +8,8 @@
 
 namespace groupfel::core {
 
-Experiment build_experiment(const ExperimentSpec& spec) {
+Experiment build_experiment(const ExperimentSpec& spec,
+                            runtime::ThreadPool* pool) {
   runtime::Rng root(spec.seed);
 
   data::SyntheticSpec data_spec;
@@ -53,7 +54,7 @@ Experiment build_experiment(const ExperimentSpec& spec) {
     // whether samples are materialized up front or on demand.
     runtime::Rng part_rng = root.fork(0xd15cull);
     data::ClientPopulation pop =
-        data::descriptor_partition(part, data_spec.num_classes, part_rng);
+        data::descriptor_partition(part, data_spec.num_classes, part_rng, pool);
     if (spec.client_state == ClientStateMode::kLazy) {
       exp.topology.clients = data::ClientDataStore::lazy(
           std::make_shared<const data::LazyShardSource>(data_spec,

@@ -61,8 +61,11 @@ struct Experiment {
   std::shared_ptr<const data::DataSet> train_set;
 };
 
-/// Builds the federation. Deterministic in spec.seed.
-[[nodiscard]] Experiment build_experiment(const ExperimentSpec& spec);
+/// Builds the federation. Deterministic in spec.seed; `pool` parallelizes
+/// the descriptor partition (bit-identical for any pool size, including
+/// nullptr).
+[[nodiscard]] Experiment build_experiment(const ExperimentSpec& spec,
+                                          runtime::ThreadPool* pool = nullptr);
 
 /// Cost model for a method on a task: training cost plus the sum of the
 /// secure-aggregation (regular or SCAFFOLD) and backdoor-detection

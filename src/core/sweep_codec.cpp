@@ -95,6 +95,7 @@ void encode(nn::ByteWriter& w, const GroupFelConfig& cfg) {
   w.size(cfg.grouping_params.num_clusters);
   w.f64(cfg.grouping_params.kld_threshold);
   w.size(cfg.grouping_params.greedy_window);
+  w.boolean(cfg.grouping_params.parallel_windows);
 
   put_enum(w, cfg.sampling);
   put_enum(w, cfg.aggregation);
@@ -146,6 +147,7 @@ GroupFelConfig decode_group_fel_config(nn::ByteReader& r) {
   cfg.grouping_params.num_clusters = r.size();
   cfg.grouping_params.kld_threshold = r.f64();
   cfg.grouping_params.greedy_window = r.size();
+  cfg.grouping_params.parallel_windows = r.boolean();
 
   cfg.sampling =
       get_enum(r, sampling::SamplingMethod::kESRCov, "SamplingMethod");

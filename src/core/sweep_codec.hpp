@@ -23,7 +23,8 @@
 namespace groupfel::core {
 
 /// Bump when any encoded struct changes shape.
-inline constexpr std::uint32_t kSweepCodecVersion = 1;
+/// v2: GroupingParams gained parallel_windows.
+inline constexpr std::uint32_t kSweepCodecVersion = 2;
 
 // Field-level codecs (composable; used by the top-level payloads below and
 // directly by tests).

@@ -51,7 +51,7 @@ GroupFelTrainer::GroupFelTrainer(FederationTopology topology,
   if (topo_.edges.empty())
     throw std::invalid_argument("GroupFelTrainer: no edge servers");
 
-  label_matrix_ = topo_.clients.label_matrix();
+  label_matrix_ = topo_.clients.label_matrix(pool_);
   for (std::size_t e = 0; e < topo_.edges.size(); ++e)
     edge_servers_.emplace_back(e, topo_.edges[e]);
 
@@ -70,14 +70,27 @@ GroupFelTrainer::GroupFelTrainer(FederationTopology topology,
 }
 
 void GroupFelTrainer::form_groups(runtime::Rng& rng) {
-  std::vector<FormedGroup> all;
-  for (const auto& edge : edge_servers_) {
-    auto edge_rng = rng.fork(edge.id());
-    auto groups = edge.form_groups(label_matrix_, cfg_.grouping,
-                                   cfg_.grouping_params, edge_rng);
-    for (auto& g : groups) all.push_back(std::move(g));
+  // Edges group concurrently into per-edge slots: each edge's stream is
+  // forked by its id (fork is const — the parent never advances), so the
+  // result is identical to the historical serial loop for any pool size.
+  // The deterministic edge-order concatenation keeps group indices stable.
+  const std::size_t num_edges = edge_servers_.size();
+  std::vector<std::vector<FormedGroup>> per_edge(num_edges);
+  const auto run_edge = [&](std::size_t e) {
+    auto edge_rng = rng.fork(edge_servers_[e].id());
+    per_edge[e] =
+        edge_servers_[e].form_groups(label_matrix_, cfg_.grouping,
+                                     cfg_.grouping_params, edge_rng, pool_);
+  };
+  if (pool_->size() > 1 && num_edges > 1) {
+    pool_->parallel_for(num_edges, run_edge);
+  } else {
+    for (std::size_t e = 0; e < num_edges; ++e) run_edge(e);
   }
-  cloud_.set_groups(std::move(all));
+  std::vector<FormedGroup> all;
+  for (auto& groups : per_edge)
+    for (auto& g : groups) all.push_back(std::move(g));
+  cloud_.set_groups(std::move(all), pool_);
 }
 
 GroupFelTrainer::GroupRun GroupFelTrainer::run_group(

@@ -30,9 +30,9 @@ const ClientPopulation* ClientDataStore::population() const noexcept {
   return population_ ? &*population_ : nullptr;
 }
 
-LabelMatrix ClientDataStore::label_matrix() const {
+LabelMatrix ClientDataStore::label_matrix(runtime::ThreadPool* pool) const {
   if (const ClientPopulation* pop = population())
-    return LabelMatrix::from_population(*pop);
+    return LabelMatrix::from_population(*pop, pool);
   return LabelMatrix::from_shards(shards_);
 }
 

@@ -110,8 +110,10 @@ class ClientDataStore {
   [[nodiscard]] const ClientPopulation* population() const noexcept;
 
   /// The §5.1 label matrix L for grouping: population histograms when a
-  /// descriptor table is present, observed shard labels otherwise.
-  [[nodiscard]] LabelMatrix label_matrix() const;
+  /// descriptor table is present, observed shard labels otherwise. `pool`
+  /// parallelizes the descriptor-table copy (bit-identical for any pool).
+  [[nodiscard]] LabelMatrix label_matrix(
+      runtime::ThreadPool* pool = nullptr) const;
 
   /// Approximate resident bytes held by this store's client data (feature
   /// tensors + index lists for resident shards; descriptor table when

@@ -36,37 +36,76 @@ std::size_t ClientPopulation::total_samples() const {
   return total;
 }
 
+namespace {
+
+/// Clients-per-task granularity for the parallel partition. The block
+/// decomposition has NO effect on the result (each client's draws come from
+/// its own index-keyed stream and write only its own rows); it just keeps
+/// task-dispatch overhead negligible next to ~size_mean categorical draws
+/// per client.
+constexpr std::size_t kPartitionBlock = 1024;
+
+/// One client's draws: size, Dirichlet proportions, histogram fill, seed.
+void partition_one(ClientPopulation& pop, const PartitionSpec& spec,
+                   const runtime::Rng& rng, std::size_t i) {
+  // One independent stream per client, keyed by index — the partition is
+  // reproducible and is evaluated in any order (or in parallel).
+  runtime::Rng crng = rng.fork(i);
+  const double draw = crng.normal(spec.size_mean, spec.size_std);
+  const auto clamped = std::clamp(
+      static_cast<long long>(std::llround(draw)),
+      static_cast<long long>(spec.size_min),
+      static_cast<long long>(spec.size_max));
+  const std::size_t size = static_cast<std::size_t>(clamped);
+  pop.set_data_count(i, size);
+
+  const std::vector<double> props =
+      crng.dirichlet(spec.alpha, pop.num_classes());
+  auto row = pop.label_counts_mutable(i);
+  for (std::size_t s = 0; s < size; ++s) ++row[crng.categorical(props)];
+  pop.set_seed(i, crng.next_u64());
+
+  std::size_t row_total = 0;
+  for (auto c : row) row_total += c;
+  GF_CHECK_EQ(row_total, size, "descriptor_partition: client ", i,
+              " histogram does not sum to its data count");
+}
+
+}  // namespace
+
+void descriptor_partition_range(ClientPopulation& pop,
+                                const PartitionSpec& spec,
+                                const runtime::Rng& rng, std::size_t begin,
+                                std::size_t end, runtime::ThreadPool* pool) {
+  GF_CHECK(end <= pop.num_clients(),
+           "descriptor_partition_range: end ", end, " beyond population ",
+           pop.num_clients());
+  if (begin >= end) return;
+  const std::size_t count = end - begin;
+  const std::size_t blocks = (count + kPartitionBlock - 1) / kPartitionBlock;
+  const auto fill_block = [&](std::size_t bi) {
+    const std::size_t i0 = begin + bi * kPartitionBlock;
+    const std::size_t i1 = std::min(end, i0 + kPartitionBlock);
+    for (std::size_t i = i0; i < i1; ++i) partition_one(pop, spec, rng, i);
+  };
+  if (pool != nullptr && pool->size() > 1 && blocks > 1) {
+    pool->parallel_for(blocks, fill_block);
+  } else {
+    for (std::size_t bi = 0; bi < blocks; ++bi) fill_block(bi);
+  }
+}
+
 ClientPopulation descriptor_partition(const PartitionSpec& spec,
                                       std::size_t num_classes,
-                                      runtime::Rng& rng) {
+                                      runtime::Rng& rng,
+                                      runtime::ThreadPool* pool) {
   if (spec.num_clients == 0)
     throw std::invalid_argument("descriptor_partition: zero clients");
   if (spec.size_min == 0 || spec.size_min > spec.size_max)
     throw std::invalid_argument("descriptor_partition: bad size bounds");
 
   ClientPopulation pop(spec.num_clients, num_classes);
-  for (std::size_t i = 0; i < spec.num_clients; ++i) {
-    // One independent stream per client, keyed by index — the partition is
-    // reproducible and could be evaluated in any order (or in parallel).
-    runtime::Rng crng = rng.fork(i);
-    const double draw = crng.normal(spec.size_mean, spec.size_std);
-    const auto clamped = std::clamp(
-        static_cast<long long>(std::llround(draw)),
-        static_cast<long long>(spec.size_min),
-        static_cast<long long>(spec.size_max));
-    const std::size_t size = static_cast<std::size_t>(clamped);
-    pop.set_data_count(i, size);
-
-    const std::vector<double> props = crng.dirichlet(spec.alpha, num_classes);
-    auto row = pop.label_counts_mutable(i);
-    for (std::size_t s = 0; s < size; ++s) ++row[crng.categorical(props)];
-    pop.set_seed(i, crng.next_u64());
-
-    std::size_t row_total = 0;
-    for (auto c : row) row_total += c;
-    GF_CHECK_EQ(row_total, size, "descriptor_partition: client ", i,
-                " histogram does not sum to its data count");
-  }
+  descriptor_partition_range(pop, spec, rng, 0, spec.num_clients, pool);
   return pop;
 }
 

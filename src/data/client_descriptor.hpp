@@ -17,6 +17,7 @@
 
 #include "data/partition.hpp"
 #include "runtime/rng.hpp"
+#include "runtime/thread_pool.hpp"
 
 namespace groupfel::data {
 
@@ -90,8 +91,24 @@ class ClientPopulation {
 /// client's own proportions (with replacement across clients): there is no
 /// shared-pool exhaustion coupling, which is what lets a 10^6-client
 /// partition run without materializing 10^8 sample indices.
-[[nodiscard]] ClientPopulation descriptor_partition(const PartitionSpec& spec,
-                                                    std::size_t num_classes,
-                                                    runtime::Rng& rng);
+///
+/// `pool` shards the client loop over parallel blocks; the per-client
+/// streams are forked by index from `rng` (fork is const — the parent never
+/// advances), so the result is bit-identical for any pool size including
+/// nullptr (serial).
+[[nodiscard]] ClientPopulation descriptor_partition(
+    const PartitionSpec& spec, std::size_t num_classes, runtime::Rng& rng,
+    runtime::ThreadPool* pool = nullptr);
+
+/// The per-client kernel of descriptor_partition over clients [begin, end):
+/// exposed so callers can compose their own slab scheduling (e.g. progress
+/// ticks between slabs in bench/scale_sim). Filling every slab of
+/// [0, num_clients) reproduces descriptor_partition(spec, classes, rng)
+/// bit for bit regardless of slab boundaries or execution order.
+void descriptor_partition_range(ClientPopulation& pop,
+                                const PartitionSpec& spec,
+                                const runtime::Rng& rng, std::size_t begin,
+                                std::size_t end,
+                                runtime::ThreadPool* pool = nullptr);
 
 }  // namespace groupfel::data

@@ -38,12 +38,27 @@ LabelMatrix LabelMatrix::from_shards(std::span<const ClientShard> shards) {
   return from_flat(std::move(flat), m);
 }
 
-LabelMatrix LabelMatrix::from_population(const ClientPopulation& population) {
+LabelMatrix LabelMatrix::from_population(const ClientPopulation& population,
+                                         runtime::ThreadPool* pool) {
   const std::size_t m = population.num_classes();
-  std::vector<std::size_t> flat(population.num_clients() * m);
-  for (std::size_t c = 0; c < population.num_clients(); ++c) {
-    const auto row = population.label_counts(c);
-    for (std::size_t j = 0; j < m; ++j) flat[c * m + j] = row[j];
+  const std::size_t n = population.num_clients();
+  std::vector<std::size_t> flat(n * m);
+  // Parallel blocks of whole rows: every row is written exactly once by
+  // exactly one block, so the decomposition cannot affect the result.
+  constexpr std::size_t kRowBlock = 4096;
+  const std::size_t blocks = (n + kRowBlock - 1) / kRowBlock;
+  const auto copy_block = [&](std::size_t bi) {
+    const std::size_t c0 = bi * kRowBlock;
+    const std::size_t c1 = std::min(n, c0 + kRowBlock);
+    for (std::size_t c = c0; c < c1; ++c) {
+      const auto row = population.label_counts(c);
+      for (std::size_t j = 0; j < m; ++j) flat[c * m + j] = row[j];
+    }
+  };
+  if (pool != nullptr && pool->size() > 1 && blocks > 1) {
+    pool->parallel_for(blocks, copy_block);
+  } else {
+    for (std::size_t bi = 0; bi < blocks; ++bi) copy_block(bi);
   }
   return from_flat(std::move(flat), m);
 }

@@ -35,8 +35,11 @@ class LabelMatrix {
   static LabelMatrix from_shards(std::span<const ClientShard> shards);
 
   /// Builds the matrix from a descriptor table (intended labels) — no
-  /// sample data needed, O(clients * labels) straight copy.
-  static LabelMatrix from_population(const ClientPopulation& population);
+  /// sample data needed, O(clients * labels) straight copy. `pool` copies
+  /// row blocks in parallel; rows are disjoint, so the result is
+  /// bit-identical for any pool size including nullptr (serial).
+  static LabelMatrix from_population(const ClientPopulation& population,
+                                     runtime::ThreadPool* pool = nullptr);
 
   [[nodiscard]] std::size_t num_clients() const noexcept {
     return labels_ == 0 ? 0 : flat_.size() / labels_;

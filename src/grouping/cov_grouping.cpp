@@ -5,30 +5,36 @@
 // MaxCoV. The group is finalized when no candidate improves the CoV and the
 // size constraint is met (MaxCoV is soft — see the paper's footnote 4).
 //
-// With params.greedy_window > 0 the greedy runs inside consecutive windows
-// of a once-shuffled pool (streaming/partitioned mode for fleet-scale
-// edges); window 0 is the classic whole-pool greedy, byte-identical to the
-// original implementation.
+// With params.greedy_window > 0 the greedy runs inside windows of a
+// once-shuffled pool (streaming/partitioned mode for fleet-scale edges);
+// window 0 is the classic whole-pool greedy, byte-identical to the original
+// implementation. params.parallel_windows runs the windows concurrently,
+// each on its own counter-based RNG stream, with groups emitted in
+// deterministic window order — bit-identical for any ThreadPool size.
 #include <limits>
 #include <numeric>
 
+#include "grouping/candidate_pool.hpp"
 #include "grouping/grouping.hpp"
 
 namespace groupfel::grouping {
 
 namespace {
 
-/// Algorithm 2 over one candidate pool; consumes `pool`, appends to
-/// `groups`. RNG draws: one next_below per opened group (line 3).
+/// Algorithm 2 over one candidate pool; consumes `pool_items`, appends to
+/// `groups`. RNG draws: one next_below per opened group (line 3). The
+/// tombstone pool keeps candidate visit order identical to the historical
+/// erase-based pool, so the output is byte-identical to it.
 void greedy_over_pool(const data::LabelMatrix& matrix,
                       const GroupingParams& params, runtime::Rng& rng,
-                      std::vector<std::size_t>& pool, Grouping& groups) {
+                      std::vector<std::size_t> pool_items, Grouping& groups) {
+  CandidatePool pool(std::move(pool_items));
   while (!pool.empty()) {
     // Line 3: random first client — the paper notes this randomization is
     // what makes periodic regrouping produce fresh groups.
-    const std::size_t first_pos = rng.next_below(pool.size());
-    std::vector<std::size_t> group{pool[first_pos]};
-    pool.erase(pool.begin() + static_cast<std::ptrdiff_t>(first_pos));
+    const std::size_t first_slot = pool.nth_live_slot(rng.next_below(pool.size()));
+    std::vector<std::size_t> group{pool.client(first_slot)};
+    pool.remove(first_slot);
 
     IncrementalCov inc(matrix.num_labels());
     inc.add(matrix.row(group[0]));
@@ -37,21 +43,23 @@ void greedy_over_pool(const data::LabelMatrix& matrix,
     while ((inc.value() > params.max_cov ||
             group.size() < params.min_group_size) &&
            !pool.empty()) {
-      // Line 5: the candidate that minimizes CoV(g ∪ c).
+      // Line 5: the candidate that minimizes CoV(g ∪ c). Keeping the FIRST
+      // minimum matches the erase-based argmin's tie-breaking.
       double best_cov = std::numeric_limits<double>::infinity();
-      std::size_t best_pos = 0;
-      for (std::size_t pos = 0; pos < pool.size(); ++pos) {
-        const double c = inc.value_with(matrix.row(pool[pos]));
+      std::size_t best_slot = 0;
+      pool.for_each([&](std::size_t slot, std::size_t client) {
+        const double c = inc.value_with(matrix.row(client));
         if (c < best_cov) {
           best_cov = c;
-          best_pos = pos;
+          best_slot = slot;
         }
-      }
+      });
       // Line 6: add if it improves CoV, or the group is still too small.
       if (best_cov < inc.value() || group.size() < params.min_group_size) {
-        inc.add(matrix.row(pool[best_pos]));
-        group.push_back(pool[best_pos]);
-        pool.erase(pool.begin() + static_cast<std::ptrdiff_t>(best_pos));
+        const std::size_t chosen = pool.client(best_slot);
+        inc.add(matrix.row(chosen));
+        group.push_back(chosen);
+        pool.remove(best_slot);
       } else {
         break;  // Line 9: finalize (MaxCoV is a soft constraint).
       }
@@ -63,29 +71,54 @@ void greedy_over_pool(const data::LabelMatrix& matrix,
 }  // namespace
 
 Grouping cov_grouping(const data::LabelMatrix& matrix,
-                      const GroupingParams& params, runtime::Rng& rng) {
+                      const GroupingParams& params, runtime::Rng& rng,
+                      runtime::ThreadPool* pool) {
   const std::size_t n = matrix.num_clients();
   Grouping groups;
-  std::vector<std::size_t> pool(n);
-  std::iota(pool.begin(), pool.end(), std::size_t{0});
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
 
   const std::size_t window = params.greedy_window;
   if (window == 0 || n <= window) {
-    greedy_over_pool(matrix, params, rng, pool, groups);
+    greedy_over_pool(matrix, params, rng, std::move(order), groups);
     return groups;
   }
 
   // Streaming mode: one shuffle gives every window an unbiased slice of the
-  // population, then each window runs the classic greedy independently.
-  rng.shuffle(pool);
-  std::vector<std::size_t> window_pool;
-  window_pool.reserve(window);
-  for (std::size_t start = 0; start < n; start += window) {
+  // population.
+  rng.shuffle(order);
+  const std::size_t num_windows = (n + window - 1) / window;
+  const auto window_items = [&](std::size_t w) {
+    const std::size_t start = w * window;
     const std::size_t end = std::min(n, start + window);
-    window_pool.assign(pool.begin() + static_cast<std::ptrdiff_t>(start),
-                       pool.begin() + static_cast<std::ptrdiff_t>(end));
-    greedy_over_pool(matrix, params, rng, window_pool, groups);
+    return std::vector<std::size_t>(
+        order.begin() + static_cast<std::ptrdiff_t>(start),
+        order.begin() + static_cast<std::ptrdiff_t>(end));
+  };
+
+  if (!params.parallel_windows) {
+    // Serial windows thread ONE stream through all windows in order —
+    // byte-identical to previous releases.
+    for (std::size_t w = 0; w < num_windows; ++w)
+      greedy_over_pool(matrix, params, rng, window_items(w), groups);
+    return groups;
   }
+
+  // Parallel windows: one counter-based stream per window (fork is const,
+  // so the streams do not depend on execution order), per-window output
+  // slots, deterministic window-order concatenation.
+  std::vector<Grouping> per_window(num_windows);
+  const auto run_window = [&](std::size_t w) {
+    runtime::Rng wrng = rng.fork(w);
+    greedy_over_pool(matrix, params, wrng, window_items(w), per_window[w]);
+  };
+  if (pool != nullptr && pool->size() > 1 && num_windows > 1) {
+    pool->parallel_for(num_windows, run_window);
+  } else {
+    for (std::size_t w = 0; w < num_windows; ++w) run_window(w);
+  }
+  for (auto& wg : per_window)
+    for (auto& g : wg) groups.push_back(std::move(g));
   return groups;
 }
 

@@ -15,6 +15,7 @@
 #include "data/label_matrix.hpp"
 #include "grouping/cov.hpp"
 #include "runtime/rng.hpp"
+#include "runtime/thread_pool.hpp"
 
 namespace groupfel::grouping {
 
@@ -34,24 +35,43 @@ struct GroupingParams {
   /// algorithm is EXACTLY Algorithm 2; the paper's guarantees are local to
   /// a group, so windowing trades only cross-window candidate choice.
   std::size_t greedy_window = 0;
+  /// Windowed CoVG/KLDG only: run the windows concurrently on the caller's
+  /// ThreadPool. Each window derives its own counter-based RNG stream
+  /// (rng.fork(window_index) — fork is const, so streams are independent of
+  /// execution order) and groups are emitted in deterministic window order;
+  /// the result is bit-identical for any pool size, including none. The
+  /// default (false) threads one RNG through the windows serially,
+  /// byte-identical to previous releases; the two modes draw different
+  /// streams, so they produce different (statistically equivalent)
+  /// groupings — quality parity is ctest-gated on the fig12 grid.
+  bool parallel_windows = false;
+
+  friend bool operator==(const GroupingParams&,
+                         const GroupingParams&) = default;
 };
 
-/// The paper's Algorithm 2 (greedy CoV grouping).
+/// The paper's Algorithm 2 (greedy CoV grouping). `pool` is used only by
+/// the parallel-windows mode (see GroupingParams::parallel_windows).
 [[nodiscard]] Grouping cov_grouping(const data::LabelMatrix& matrix,
                                     const GroupingParams& params,
-                                    runtime::Rng& rng);
+                                    runtime::Rng& rng,
+                                    runtime::ThreadPool* pool = nullptr);
 
 /// Uniform random partition into groups of ~min_group_size clients.
 [[nodiscard]] Grouping random_grouping(const data::LabelMatrix& matrix,
                                        const GroupingParams& params,
-                                       runtime::Rng& rng);
+                                       runtime::Rng& rng,
+                                       runtime::ThreadPool* pool = nullptr);
 
 /// OUEA's clustering-then-distribution: k-means over normalized label
 /// distributions, then members of each cluster are dealt round-robin across
-/// groups so each group mixes all client types.
+/// groups so each group mixes all client types. `pool` parallelizes the
+/// feature build, the k-means inner loops, and the cluster bucketing;
+/// bit-identical for any pool size.
 [[nodiscard]] Grouping cdg_grouping(const data::LabelMatrix& matrix,
                                     const GroupingParams& params,
-                                    runtime::Rng& rng);
+                                    runtime::Rng& rng,
+                                    runtime::ThreadPool* pool = nullptr);
 
 /// SHARE's KLD-based greedy: like Algorithm 2 but the criterion is the
 /// Kullback–Leibler divergence between the group's label distribution and
@@ -59,7 +79,8 @@ struct GroupingParams {
 /// O(|K|^4 |Y|) complexity the paper measures in Fig. 5).
 [[nodiscard]] Grouping kldg_grouping(const data::LabelMatrix& matrix,
                                      const GroupingParams& params,
-                                     runtime::Rng& rng);
+                                     runtime::Rng& rng,
+                                     runtime::ThreadPool* pool = nullptr);
 
 // ---- Registry (grouping/registry.cpp) ----
 
@@ -68,7 +89,8 @@ enum class GroupingMethod { kRandom, kCdg, kKldg, kCov };
 [[nodiscard]] Grouping form_groups(GroupingMethod method,
                                    const data::LabelMatrix& matrix,
                                    const GroupingParams& params,
-                                   runtime::Rng& rng);
+                                   runtime::Rng& rng,
+                                   runtime::ThreadPool* pool = nullptr);
 
 [[nodiscard]] std::string to_string(GroupingMethod method);
 [[nodiscard]] GroupingMethod grouping_method_from_string(const std::string& name);

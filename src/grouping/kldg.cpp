@@ -8,14 +8,17 @@
 // candidate evaluation. That yields the O(|K|^4 |Y|) complexity (plus the
 // log() calls) the paper measures in Fig. 5.
 //
-// params.greedy_window > 0 runs the same greedy inside consecutive windows
-// of a once-shuffled pool (see cov_grouping.cpp); the per-candidate
-// recompute is preserved, so windowed KLDG is O(n w^2 m) instead of
-// O(n^3 m) — still the most expensive method, as in the paper.
+// params.greedy_window > 0 runs the same greedy inside windows of a
+// once-shuffled pool (see cov_grouping.cpp); the per-candidate recompute is
+// preserved, so windowed KLDG is O(n w^2 m) instead of O(n^3 m) — still the
+// most expensive method, as in the paper. params.parallel_windows runs the
+// windows concurrently on per-window RNG streams, bit-identical for any
+// ThreadPool size.
 #include <cmath>
 #include <limits>
 #include <numeric>
 
+#include "grouping/candidate_pool.hpp"
 #include "grouping/grouping.hpp"
 #include "util/stats.hpp"
 
@@ -46,12 +49,14 @@ double group_kld(const data::LabelMatrix& matrix,
 void greedy_over_pool(const data::LabelMatrix& matrix,
                       const GroupingParams& params, runtime::Rng& rng,
                       const std::vector<double>& global_dist,
-                      std::vector<std::size_t>& pool, Grouping& groups) {
+                      std::vector<std::size_t> pool_items, Grouping& groups) {
   std::vector<double> scratch;
+  CandidatePool pool(std::move(pool_items));
   while (!pool.empty()) {
-    const std::size_t first_pos = rng.next_below(pool.size());
-    std::vector<std::size_t> group{pool[first_pos]};
-    pool.erase(pool.begin() + static_cast<std::ptrdiff_t>(first_pos));
+    const std::size_t first_slot =
+        pool.nth_live_slot(rng.next_below(pool.size()));
+    std::vector<std::size_t> group{pool.client(first_slot)};
+    pool.remove(first_slot);
 
     auto current_kld = [&] {
       scratch.assign(matrix.num_labels(), 0.0);
@@ -67,18 +72,18 @@ void greedy_over_pool(const data::LabelMatrix& matrix,
             group.size() < params.min_group_size) &&
            !pool.empty()) {
       double best = std::numeric_limits<double>::infinity();
-      std::size_t best_pos = 0;
-      for (std::size_t pos = 0; pos < pool.size(); ++pos) {
+      std::size_t best_slot = 0;
+      pool.for_each([&](std::size_t slot, std::size_t client) {
         const double kld =
-            group_kld(matrix, group, pool[pos], global_dist, scratch);
+            group_kld(matrix, group, client, global_dist, scratch);
         if (kld < best) {
           best = kld;
-          best_pos = pos;
+          best_slot = slot;
         }
-      }
+      });
       if (best < current_kld() || group.size() < params.min_group_size) {
-        group.push_back(pool[best_pos]);
-        pool.erase(pool.begin() + static_cast<std::ptrdiff_t>(best_pos));
+        group.push_back(pool.client(best_slot));
+        pool.remove(best_slot);
       } else {
         break;
       }
@@ -89,7 +94,8 @@ void greedy_over_pool(const data::LabelMatrix& matrix,
 }  // namespace
 
 Grouping kldg_grouping(const data::LabelMatrix& matrix,
-                       const GroupingParams& params, runtime::Rng& rng) {
+                       const GroupingParams& params, runtime::Rng& rng,
+                       runtime::ThreadPool* pool) {
   const std::size_t n = matrix.num_clients();
   const auto global_counts = matrix.global_counts();
   std::vector<double> global_dist(global_counts.size());
@@ -97,24 +103,46 @@ Grouping kldg_grouping(const data::LabelMatrix& matrix,
     global_dist[j] = static_cast<double>(global_counts[j]);
 
   Grouping groups;
-  std::vector<std::size_t> pool(n);
-  std::iota(pool.begin(), pool.end(), std::size_t{0});
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
 
   const std::size_t window = params.greedy_window;
   if (window == 0 || n <= window) {
-    greedy_over_pool(matrix, params, rng, global_dist, pool, groups);
+    greedy_over_pool(matrix, params, rng, global_dist, std::move(order),
+                     groups);
     return groups;
   }
 
-  rng.shuffle(pool);
-  std::vector<std::size_t> window_pool;
-  window_pool.reserve(window);
-  for (std::size_t start = 0; start < n; start += window) {
+  rng.shuffle(order);
+  const std::size_t num_windows = (n + window - 1) / window;
+  const auto window_items = [&](std::size_t w) {
+    const std::size_t start = w * window;
     const std::size_t end = std::min(n, start + window);
-    window_pool.assign(pool.begin() + static_cast<std::ptrdiff_t>(start),
-                       pool.begin() + static_cast<std::ptrdiff_t>(end));
-    greedy_over_pool(matrix, params, rng, global_dist, window_pool, groups);
+    return std::vector<std::size_t>(
+        order.begin() + static_cast<std::ptrdiff_t>(start),
+        order.begin() + static_cast<std::ptrdiff_t>(end));
+  };
+
+  if (!params.parallel_windows) {
+    for (std::size_t w = 0; w < num_windows; ++w)
+      greedy_over_pool(matrix, params, rng, global_dist, window_items(w),
+                       groups);
+    return groups;
   }
+
+  std::vector<Grouping> per_window(num_windows);
+  const auto run_window = [&](std::size_t w) {
+    runtime::Rng wrng = rng.fork(w);
+    greedy_over_pool(matrix, params, wrng, global_dist, window_items(w),
+                     per_window[w]);
+  };
+  if (pool != nullptr && pool->size() > 1 && num_windows > 1) {
+    pool->parallel_for(num_windows, run_window);
+  } else {
+    for (std::size_t w = 0; w < num_windows; ++w) run_window(w);
+  }
+  for (auto& wg : per_window)
+    for (auto& g : wg) groups.push_back(std::move(g));
   return groups;
 }
 

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "runtime/rng.hpp"
+#include "runtime/thread_pool.hpp"
 
 namespace groupfel::grouping {
 
@@ -22,14 +23,22 @@ struct KMeansResult {
 /// iterations; convergence is detected when no assignment changes. The flat
 /// layout is the primary entry point: a million-point input is one
 /// allocation and streams through the distance scans in cache order.
+///
+/// `pool` shards the distance scans, the assignment step, and the centroid
+/// accumulation over fixed-size point blocks whose partial results are
+/// combined in deterministic block order — the result is bit-identical for
+/// any pool size including nullptr (serial). Inputs up to one block (4096
+/// points) reproduce the historical straight-line accumulation exactly.
 [[nodiscard]] KMeansResult kmeans(std::span<const double> flat,
                                   std::size_t dim, std::size_t k,
                                   runtime::Rng& rng,
-                                  std::size_t max_iters = 100);
+                                  std::size_t max_iters = 100,
+                                  runtime::ThreadPool* pool = nullptr);
 
 /// Nested-row convenience wrapper (copies into the flat layout).
 [[nodiscard]] KMeansResult kmeans(const std::vector<std::vector<double>>& points,
                                   std::size_t k, runtime::Rng& rng,
-                                  std::size_t max_iters = 100);
+                                  std::size_t max_iters = 100,
+                                  runtime::ThreadPool* pool = nullptr);
 
 }  // namespace groupfel::grouping

@@ -8,7 +8,9 @@
 namespace groupfel::grouping {
 
 Grouping random_grouping(const data::LabelMatrix& matrix,
-                         const GroupingParams& params, runtime::Rng& rng) {
+                         const GroupingParams& params, runtime::Rng& rng,
+                         runtime::ThreadPool* /*pool*/) {
+  // The shuffle-and-cut is one O(n) serial pass; there is nothing to shard.
   const std::size_t n = matrix.num_clients();
   const std::size_t gs = std::max<std::size_t>(1, params.min_group_size);
   std::vector<std::size_t> order(n);

@@ -6,15 +6,18 @@
 namespace groupfel::grouping {
 
 Grouping form_groups(GroupingMethod method, const data::LabelMatrix& matrix,
-                     const GroupingParams& params, runtime::Rng& rng) {
+                     const GroupingParams& params, runtime::Rng& rng,
+                     runtime::ThreadPool* pool) {
   GF_CHECK(params.min_group_size >= 1,
            "form_groups: min_group_size must be >= 1");
   GF_CHECK(matrix.num_clients() > 0, "form_groups: no clients");
   switch (method) {
-    case GroupingMethod::kRandom: return random_grouping(matrix, params, rng);
-    case GroupingMethod::kCdg: return cdg_grouping(matrix, params, rng);
-    case GroupingMethod::kKldg: return kldg_grouping(matrix, params, rng);
-    case GroupingMethod::kCov: return cov_grouping(matrix, params, rng);
+    case GroupingMethod::kRandom:
+      return random_grouping(matrix, params, rng, pool);
+    case GroupingMethod::kCdg: return cdg_grouping(matrix, params, rng, pool);
+    case GroupingMethod::kKldg:
+      return kldg_grouping(matrix, params, rng, pool);
+    case GroupingMethod::kCov: return cov_grouping(matrix, params, rng, pool);
   }
   throw std::invalid_argument("form_groups: unknown method");
 }

@@ -66,11 +66,15 @@ class Rng {
 
   /// In-place Fisher–Yates shuffle.
   template <typename T>
-  void shuffle(std::vector<T>& v) {
+  void shuffle(std::span<T> v) {
     for (std::size_t i = v.size(); i > 1; --i) {
       const std::size_t j = next_below(i);
       std::swap(v[i - 1], v[j]);
     }
+  }
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    shuffle(std::span<T>(v));
   }
 
   /// k distinct indices from [0, n) (partial Fisher–Yates).

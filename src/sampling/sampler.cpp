@@ -73,13 +73,38 @@ std::vector<double> sampling_probabilities(SamplingMethod method,
   return p;
 }
 
+namespace {
+
+/// Group-block granularity for the Eq. 34 reductions. Fixed by the group
+/// count alone, so the blocked sums below have the same shape — and
+/// therefore the same result — for any pool size. One block (every
+/// pre-fleet scenario) reproduces the historical single-stream Kahan
+/// accumulation exactly.
+constexpr std::size_t kGroupBlock = 2048;
+
+/// Runs body(block_index) over ceil(n / kGroupBlock) blocks.
+template <typename Body>
+void for_each_group_block(std::size_t n, runtime::ThreadPool* pool,
+                          const Body& body) {
+  const std::size_t blocks = (n + kGroupBlock - 1) / kGroupBlock;
+  if (pool != nullptr && pool->size() > 1 && blocks > 1) {
+    pool->parallel_for(blocks, body);
+  } else {
+    for (std::size_t bi = 0; bi < blocks; ++bi) body(bi);
+  }
+}
+
+}  // namespace
+
 void sampling_probabilities_into(SamplingMethod method,
                                  std::span<const double> group_covs,
-                                 std::vector<double>& out, double cov_floor) {
+                                 std::vector<double>& out, double cov_floor,
+                                 runtime::ThreadPool* pool) {
   GF_CHECK(!group_covs.empty(), "sampling_probabilities_into: no groups");
   GF_CHECK(cov_floor > 0.0,
            "sampling_probabilities_into: cov_floor must be > 0");
   const std::size_t n = group_covs.size();
+  const std::size_t blocks = (n + kGroupBlock - 1) / kGroupBlock;
   out.resize(n);
 
   if (method == SamplingMethod::kRandom) {
@@ -88,57 +113,83 @@ void sampling_probabilities_into(SamplingMethod method,
     return;
   }
 
-  // One pass: weight each group and accumulate the normalizer with Kahan
-  // compensation (a naive sum over 10^5+ groups loses enough mass to trip
-  // the invariant check below). ESRCoV rescales the running sum whenever a
-  // new maximum exponent appears — the streaming form of the max shift.
-  double total = 0.0, comp = 0.0, shift = 0.0;
-  const auto accumulate = [&](double v) {
-    const double y = v - comp;
-    const double t = total + y;
-    comp = (t - total) - y;
-    total = t;
-  };
-  for (std::size_t i = 0; i < n; ++i) {
+  // x_g = 1 / max(CoV, floor); the floor keeps perfectly-IID groups finite.
+  const auto weight_x = [&](std::size_t i) {
     GF_CHECK(group_covs[i] >= 0.0,
              "sampling_probabilities_into: negative CoV ", group_covs[i],
              " for group ", i);
-    const double x = 1.0 / std::max(group_covs[i], cov_floor);
-    double w = 0.0;
-    switch (method) {
-      case SamplingMethod::kRCov:
-        w = x;
-        break;
-      case SamplingMethod::kSRCov:
-        w = x * x;
-        break;
-      case SamplingMethod::kESRCov: {
-        const double e = x * x;
-        if (e > shift) {
-          // Re-base the running sum (and its compensation) to the new max.
-          const double scale = std::exp(shift - e);
-          total *= scale;
-          comp *= scale;
-          shift = e;
-        }
-        // out temporarily stores the exponent; normalized below.
-        out[i] = e;
-        accumulate(std::exp(e - shift));
-        continue;
-      }
-      case SamplingMethod::kRandom:
-        break;  // handled above
+    return 1.0 / std::max(group_covs[i], cov_floor);
+  };
+  // Per-block Kahan accumulator: a naive sum over 10^5+ groups loses
+  // enough mass to trip the invariant check below.
+  struct Kahan {
+    double total = 0.0, comp = 0.0;
+    void add(double v) {
+      const double y = v - comp;
+      const double t = total + y;
+      comp = (t - total) - y;
+      total = t;
     }
-    out[i] = w;
-    accumulate(w);
+  };
+  std::vector<double> block_totals(blocks, 0.0);
+
+  double shift = 0.0;
+  if (method == SamplingMethod::kESRCov) {
+    // Pass 1: exponents into `out` (reused as scratch) and per-block
+    // maxima; the global max shift keeps e^{x^2} overflow-free.
+    std::vector<double> block_max(blocks, 0.0);
+    for_each_group_block(n, pool, [&](std::size_t bi) {
+      const std::size_t i0 = bi * kGroupBlock;
+      const std::size_t i1 = std::min(n, i0 + kGroupBlock);
+      double mx = 0.0;
+      for (std::size_t i = i0; i < i1; ++i) {
+        const double x = weight_x(i);
+        out[i] = x * x;
+        mx = std::max(mx, out[i]);
+      }
+      block_max[bi] = mx;
+    });
+    for (std::size_t bi = 0; bi < blocks; ++bi)
+      shift = std::max(shift, block_max[bi]);
+    // Pass 2: per-block Kahan sums of the shifted exponentials.
+    for_each_group_block(n, pool, [&](std::size_t bi) {
+      const std::size_t i0 = bi * kGroupBlock;
+      const std::size_t i1 = std::min(n, i0 + kGroupBlock);
+      Kahan local;
+      for (std::size_t i = i0; i < i1; ++i) local.add(std::exp(out[i] - shift));
+      block_totals[bi] = local.total;
+    });
+  } else {
+    // One blocked pass: weights into `out`, per-block Kahan normalizer.
+    for_each_group_block(n, pool, [&](std::size_t bi) {
+      const std::size_t i0 = bi * kGroupBlock;
+      const std::size_t i1 = std::min(n, i0 + kGroupBlock);
+      Kahan local;
+      for (std::size_t i = i0; i < i1; ++i) {
+        const double x = weight_x(i);
+        out[i] = method == SamplingMethod::kSRCov ? x * x : x;
+        local.add(out[i]);
+      }
+      block_totals[bi] = local.total;
+    });
   }
+  // Combine the per-block partials in deterministic block order.
+  Kahan combined;
+  for (std::size_t bi = 0; bi < blocks; ++bi) combined.add(block_totals[bi]);
+  const double total = combined.total;
   GF_CHECK(total > 0.0 && std::isfinite(total),
            "sampling_probabilities_into: degenerate normalizer ", total);
-  if (method == SamplingMethod::kESRCov) {
-    for (auto& v : out) v = std::exp(v - shift) / total;
-  } else {
-    for (auto& v : out) v /= total;
-  }
+
+  for_each_group_block(n, pool, [&](std::size_t bi) {
+    const std::size_t i0 = bi * kGroupBlock;
+    const std::size_t i1 = std::min(n, i0 + kGroupBlock);
+    if (method == SamplingMethod::kESRCov) {
+      for (std::size_t i = i0; i < i1; ++i)
+        out[i] = std::exp(out[i] - shift) / total;
+    } else {
+      for (std::size_t i = i0; i < i1; ++i) out[i] /= total;
+    }
+  });
   check_probability_vector(out, "sampling_probabilities_into");
 }
 

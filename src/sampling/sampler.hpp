@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "runtime/rng.hpp"
+#include "runtime/thread_pool.hpp"
 
 namespace groupfel::sampling {
 
@@ -29,15 +30,23 @@ enum class SamplingMethod { kRandom, kRCov, kSRCov, kESRCov };
     SamplingMethod method, std::span<const double> group_covs,
     double cov_floor = 0.05);
 
+/// Default CoV floor shared by both Eq. 34 producers.
+inline constexpr double kDefaultCovFloor = 0.05;
+
 /// Streaming Eq. 34 for fleet-scale group counts: writes p into `out`
-/// (reusing its storage across regroupings) in one O(n) weight pass with a
-/// Kahan-compensated normalizer; ESRCoV keeps the overflow-free max shift
-/// via an online rescale of the running sum instead of a separate max scan.
-/// The result is GF_CHECKed against the probability-vector invariant below.
+/// (reusing its storage across regroupings). The normalizer is a
+/// fixed-shape blocked tree reduction — per-block Kahan-compensated sums
+/// combined in deterministic block order (the nn::weighted_average_into
+/// pattern), with the block decomposition fixed by the group count alone —
+/// so the result is bit-identical for any `pool` size including nullptr
+/// (serial). ESRCoV precomputes the max exponent with a blocked max scan,
+/// keeping the overflow-free shift. The result is GF_CHECKed against the
+/// probability-vector invariant below.
 void sampling_probabilities_into(SamplingMethod method,
                                  std::span<const double> group_covs,
                                  std::vector<double>& out,
-                                 double cov_floor = 0.05);
+                                 double cov_floor = kDefaultCovFloor,
+                                 runtime::ThreadPool* pool = nullptr);
 
 /// The PR-2 invariant set, extended to probability vectors: every entry
 /// finite and non-negative, total mass 1 within tolerance. GF_CHECKs (always
